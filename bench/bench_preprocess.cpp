@@ -1,0 +1,70 @@
+// Experiment E2a (Theorem 8): preprocessing — building the data structure D
+// (post-order-sorted adjacency) plus the tree index. Work must scale as
+// Θ(m log n); the PRAM depth is one sort round (O(log n)).
+#include <benchmark/benchmark.h>
+
+#include "baseline/static_dfs.hpp"
+#include "core/adjacency_oracle.hpp"
+#include "graph/generators.hpp"
+#include "pram/cost_model.hpp"
+#include "tree/tree_index.hpp"
+#include "util/random.hpp"
+
+using namespace pardfs;
+
+namespace {
+
+void BM_BuildOracle(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const std::int64_t m = state.range(1) * static_cast<std::int64_t>(n);
+  Rng rng(7);
+  Graph g = gen::random_connected(n, m - (n - 1), rng);
+  const auto parent = static_dfs(g);
+  TreeIndex index;
+  index.build(parent);
+  pram::CostModel cost;
+  for (auto _ : state) {
+    AdjacencyOracle oracle;
+    oracle.build(g, index, &cost);
+    benchmark::DoNotOptimize(oracle);
+  }
+  state.counters["n"] = benchmark::Counter(n);
+  state.counters["m"] = benchmark::Counter(static_cast<double>(g.num_edges()));
+  state.counters["pram_depth/build"] = benchmark::Counter(
+      static_cast<double>(cost.snapshot().pram_time) /
+      static_cast<double>(state.iterations()));
+  state.SetComplexityN(static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_BuildOracle)
+    ->ArgsProduct({{1 << 10, 1 << 12, 1 << 14, 1 << 16}, {2, 8}})
+    ->Unit(benchmark::kMicrosecond)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_BuildTreeIndex(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  Rng rng(8);
+  Graph g = gen::random_connected(n, 2 * static_cast<std::int64_t>(n), rng);
+  const auto parent = static_dfs(g);
+  for (auto _ : state) {
+    TreeIndex index;
+    index.build(parent);
+    benchmark::DoNotOptimize(index);
+  }
+  state.counters["n"] = benchmark::Counter(n);
+}
+BENCHMARK(BM_BuildTreeIndex)->RangeMultiplier(4)->Range(1 << 10, 1 << 16)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_StaticDfsBuild(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  Rng rng(9);
+  Graph g = gen::random_connected(n, 4 * static_cast<std::int64_t>(n), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(static_dfs(g));
+  }
+  state.counters["n"] = benchmark::Counter(n);
+}
+BENCHMARK(BM_StaticDfsBuild)->RangeMultiplier(4)->Range(1 << 10, 1 << 16)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Experiment E2b (Theorem 8): query cost on D. A single Query(w, path) is
+// one binary search — O(log n) probes regardless of degree or graph size;
+// subtree queries cost one probe per source vertex (|T(w)| logical
+// processors on the PRAM).
+#include <benchmark/benchmark.h>
+
+#include "baseline/static_dfs.hpp"
+#include "core/adjacency_oracle.hpp"
+#include "graph/generators.hpp"
+#include "pram/cost_model.hpp"
+#include "tree/tree_index.hpp"
+#include "util/random.hpp"
+
+using namespace pardfs;
+
+namespace {
+
+struct QueryBench {
+  Graph g;
+  TreeIndex index;
+  AdjacencyOracle oracle;
+  pram::CostModel cost;
+  Rng rng{12345};
+
+  explicit QueryBench(Vertex n, std::int64_t extra) {
+    Rng gen_rng(5);
+    g = gen::random_connected(n, extra, gen_rng);
+    const auto parent = static_dfs(g);
+    index.build(parent);
+    oracle.build(g, index, &cost);
+  }
+
+  PathSeg random_segment() {
+    const Vertex n = g.capacity();
+    const Vertex bottom = static_cast<Vertex>(rng.below(static_cast<std::uint64_t>(n)));
+    Vertex top = bottom;
+    for (std::uint64_t h = rng.below(16); h > 0 && index.parent(top) != kNullVertex;
+         --h) {
+      top = index.parent(top);
+    }
+    return {top, bottom};
+  }
+};
+
+void BM_VertexQuery(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  QueryBench qb(n, 6 * static_cast<std::int64_t>(n));
+  std::uint64_t queries = 0;
+  const auto before = qb.cost.snapshot();
+  for (auto _ : state) {
+    const PathSeg seg = qb.random_segment();
+    const Vertex u =
+        static_cast<Vertex>(qb.rng.below(static_cast<std::uint64_t>(n)));
+    benchmark::DoNotOptimize(qb.oracle.query_vertex(u, seg, PathEnd::kTop));
+    ++queries;
+  }
+  const auto after = qb.cost.snapshot();
+  state.counters["probes/query"] = benchmark::Counter(
+      static_cast<double>(after.query_probes - before.query_probes) /
+      static_cast<double>(queries ? queries : 1));
+  state.counters["n"] = benchmark::Counter(n);
+}
+BENCHMARK(BM_VertexQuery)->RangeMultiplier(4)->Range(1 << 10, 1 << 16);
+
+void BM_SubtreeQuery(benchmark::State& state) {
+  const Vertex n = 1 << 14;
+  QueryBench qb(n, 4 * static_cast<std::int64_t>(n));
+  // Pick subtrees of size ~ state.range(0).
+  const std::int32_t want = static_cast<std::int32_t>(state.range(0));
+  std::vector<Vertex> candidates;
+  for (Vertex v = 0; v < n; ++v) {
+    if (qb.index.size(v) >= want / 2 && qb.index.size(v) <= want * 2) {
+      candidates.push_back(v);
+    }
+  }
+  if (candidates.empty()) {
+    state.SkipWithError("no subtree of the requested size");
+    return;
+  }
+  for (auto _ : state) {
+    const Vertex w = candidates[qb.rng.below(candidates.size())];
+    PathSeg seg = qb.random_segment();
+    // Ensure disjointness: walk the segment out of the subtree if needed.
+    if (qb.index.is_ancestor(w, seg.bottom) || qb.index.is_ancestor(seg.top, w)) {
+      seg = {qb.index.root_of(w), qb.index.root_of(w)};
+    }
+    benchmark::DoNotOptimize(
+        qb.oracle.query_sources(qb.index.subtree_span(w), seg, PathEnd::kTop));
+  }
+  state.counters["subtree_size"] = benchmark::Counter(want);
+}
+BENCHMARK(BM_SubtreeQuery)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_SegmentQuery(benchmark::State& state) {
+  const Vertex n = 1 << 14;
+  QueryBench qb(n, 4 * static_cast<std::int64_t>(n));
+  for (auto _ : state) {
+    const PathSeg a = qb.random_segment();
+    const PathSeg b = qb.random_segment();
+    if (qb.index.is_ancestor(a.top, b.bottom) && qb.index.is_ancestor(b.top, a.bottom)) {
+      continue;  // likely overlapping; skip
+    }
+    benchmark::DoNotOptimize(qb.oracle.query_segments(a, b, PathEnd::kTop));
+  }
+}
+BENCHMARK(BM_SegmentQuery);
+
+// Patched queries (Theorem 9): probes grow by O(k) after k patches.
+void BM_PatchedQuery(benchmark::State& state) {
+  const Vertex n = 1 << 12;
+  QueryBench qb(n, 4 * static_cast<std::int64_t>(n));
+  const int k = static_cast<int>(state.range(0));
+  for (int i = 0; i < k; ++i) {
+    const Vertex u = static_cast<Vertex>(qb.rng.below(static_cast<std::uint64_t>(n)));
+    const Vertex v = static_cast<Vertex>(qb.rng.below(static_cast<std::uint64_t>(n)));
+    if (u != v && !qb.g.has_edge(u, v)) {
+      qb.oracle.note_edge_inserted(u, v);
+    }
+  }
+  for (auto _ : state) {
+    const PathSeg seg = qb.random_segment();
+    const Vertex u =
+        static_cast<Vertex>(qb.rng.below(static_cast<std::uint64_t>(n)));
+    benchmark::DoNotOptimize(qb.oracle.query_vertex(u, seg, PathEnd::kTop));
+  }
+  state.counters["k_patches"] = benchmark::Counter(k);
+}
+BENCHMARK(BM_PatchedQuery)->Arg(0)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace

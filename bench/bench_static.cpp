@@ -1,0 +1,70 @@
+// Experiment E6: static baselines. Tarjan's O(m+n) DFS (the recompute
+// comparator of E1) and the lexicographic ordered DFS, across densities.
+// Crossover claim: per-update maintenance (E1) beats one recompute as soon
+// as m is large, because recompute is Θ(m) while maintenance touches
+// O~(changed structure).
+#include <benchmark/benchmark.h>
+
+#include "baseline/ordered_dfs.hpp"
+#include "baseline/static_dfs.hpp"
+#include "graph/generators.hpp"
+#include "util/random.hpp"
+
+using namespace pardfs;
+
+namespace {
+
+void BM_TarjanDfs(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const std::int64_t avg_deg = state.range(1);
+  Rng rng(61);
+  Graph g = gen::random_connected(n, avg_deg * static_cast<std::int64_t>(n) / 2, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(static_dfs(g));
+  }
+  state.counters["n"] = benchmark::Counter(n);
+  state.counters["m"] = benchmark::Counter(static_cast<double>(g.num_edges()));
+  state.SetComplexityN(static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_TarjanDfs)
+    ->ArgsProduct({{1 << 10, 1 << 13, 1 << 16}, {4, 16}})
+    ->Unit(benchmark::kMicrosecond)
+    ->Complexity(benchmark::oN);
+
+void BM_OrderedDfs(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  Rng rng(62);
+  Graph g = gen::random_connected(n, 4 * static_cast<std::int64_t>(n), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ordered_dfs(g));
+  }
+  state.counters["n"] = benchmark::Counter(n);
+}
+BENCHMARK(BM_OrderedDfs)->RangeMultiplier(8)->Range(1 << 10, 1 << 16)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_TarjanOnFamilies(benchmark::State& state) {
+  const int family = static_cast<int>(state.range(0));
+  const Vertex n = 1 << 14;
+  Rng rng(63);
+  Graph g = [&]() -> Graph {
+    switch (family) {
+      case 0: return gen::path(n);
+      case 1: return gen::star(n);
+      case 2: return gen::binary_tree(n);
+      case 3: return gen::grid(128, 128);
+      default: return gen::gnm(n, 4 * static_cast<std::int64_t>(n), rng);
+    }
+  }();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(static_dfs(g));
+  }
+  state.SetLabel(family == 0   ? "path"
+                 : family == 1 ? "star"
+                 : family == 2 ? "binary_tree"
+                 : family == 3 ? "grid"
+                              : "gnm");
+}
+BENCHMARK(BM_TarjanOnFamilies)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

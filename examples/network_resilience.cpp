@@ -1,0 +1,85 @@
+// Network resilience monitoring — the workload the paper's introduction
+// motivates: a large evolving network where recomputing DFS-based structure
+// after every change is too expensive.
+//
+// A service mesh of `n` routers evolves under link churn. After every
+// update we keep (a) the DFS forest (via DynamicDfs, O~(1) rounds per
+// update instead of an O(m+n) recompute) and (b) the articulation points
+// and bridges derived from it — the single points of failure an operator
+// watches. Output: churn log with resilience summary per step.
+#include <cstdio>
+#include <numeric>
+
+#include "core/articulation.hpp"
+#include "core/dynamic_dfs.hpp"
+#include "graph/generators.hpp"
+#include "tree/validation.hpp"
+#include "util/random.hpp"
+
+using namespace pardfs;
+
+int main() {
+  const Vertex n = 400;
+  Rng rng(2026);
+  // Backbone ring + random shortcuts: a plausible WAN topology.
+  Graph g = gen::cycle(n);
+  for (int shortcuts = 0; shortcuts < n / 4;) {
+    const auto u = static_cast<Vertex>(rng.below(n));
+    const auto v = static_cast<Vertex>(rng.below(n));
+    if (u != v && g.add_edge(u, v)) ++shortcuts;
+  }
+
+  DynamicDfs dfs(g);
+  std::printf("monitoring %d routers, %lld links\n", n,
+              static_cast<long long>(dfs.graph().num_edges()));
+
+  std::uint64_t total_rounds = 0;
+  for (int step = 0; step < 50; ++step) {
+    gen::Update u;
+    if (!gen::random_update(dfs.graph(), rng, 1.0, 1.2, 0.0, 0.05, u)) break;
+    const char* what = "";
+    switch (u.kind) {
+      case gen::UpdateKind::kInsertEdge:
+        dfs.insert_edge(u.u, u.v);
+        what = "link up  ";
+        break;
+      case gen::UpdateKind::kDeleteEdge:
+        dfs.delete_edge(u.u, u.v);
+        what = "link down";
+        break;
+      case gen::UpdateKind::kDeleteVertex:
+        dfs.delete_vertex(u.u);
+        what = "node down";
+        break;
+      case gen::UpdateKind::kInsertVertex:
+        dfs.insert_vertex(u.neighbors);
+        what = "node up  ";
+        break;
+    }
+    total_rounds += dfs.last_stats().global_rounds;
+
+    const CutStructure cuts = find_cuts(dfs.graph(), dfs.parent());
+    const int articulation_count = static_cast<int>(
+        std::accumulate(cuts.is_articulation.begin(), cuts.is_articulation.end(), 0));
+    int components = 0;
+    for (Vertex v = 0; v < dfs.graph().capacity(); ++v) {
+      if (dfs.graph().is_alive(v) && dfs.parent_of(v) == kNullVertex) ++components;
+    }
+    std::printf(
+        "step %2d: %s (%3d,%3d) | components %2d | articulation points %3d | "
+        "bridges %3zu | reroot rounds %llu\n",
+        step, what, u.u, u.v, components, articulation_count, cuts.bridges.size(),
+        static_cast<unsigned long long>(dfs.last_stats().global_rounds));
+
+    const auto check = validate_dfs_forest(dfs.graph(), dfs.parent());
+    if (!check.ok) {
+      std::printf("INVALID FOREST: %s\n", check.reason.c_str());
+      return 1;
+    }
+  }
+  std::printf("\ntotal engine rounds over the run: %llu (vs ~%lld edges scanned "
+              "per static recompute)\n",
+              static_cast<unsigned long long>(total_rounds),
+              static_cast<long long>(dfs.graph().num_edges()));
+  return 0;
+}

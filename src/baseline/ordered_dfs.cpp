@@ -1,0 +1,51 @@
+#include "baseline/ordered_dfs.hpp"
+
+#include <algorithm>
+
+namespace pardfs {
+
+std::vector<Vertex> ordered_dfs(const Graph& g) {
+  const Vertex cap = g.capacity();
+  // Sort each adjacency list once, then run the standard iterative DFS.
+  std::vector<std::vector<Vertex>> sorted(static_cast<std::size_t>(cap));
+  for (Vertex v = 0; v < cap; ++v) {
+    if (!g.is_alive(v)) continue;
+    const auto nbrs = g.neighbors(v);
+    sorted[static_cast<std::size_t>(v)].assign(nbrs.begin(), nbrs.end());
+    std::sort(sorted[static_cast<std::size_t>(v)].begin(),
+              sorted[static_cast<std::size_t>(v)].end());
+  }
+  std::vector<Vertex> parent(static_cast<std::size_t>(cap), kNullVertex);
+  std::vector<std::uint8_t> visited(static_cast<std::size_t>(cap), 0);
+  std::vector<std::pair<Vertex, std::size_t>> stack;
+  for (Vertex r = 0; r < cap; ++r) {
+    if (!g.is_alive(r) || visited[static_cast<std::size_t>(r)]) continue;
+    visited[static_cast<std::size_t>(r)] = 1;
+    stack.clear();
+    stack.emplace_back(r, 0);
+    while (!stack.empty()) {
+      const Vertex v = stack.back().first;
+      const auto& nbrs = sorted[static_cast<std::size_t>(v)];
+      std::size_t i = stack.back().second;
+      Vertex child = kNullVertex;
+      while (i < nbrs.size()) {
+        const Vertex w = nbrs[i++];
+        if (!visited[static_cast<std::size_t>(w)]) {
+          child = w;
+          break;
+        }
+      }
+      stack.back().second = i;
+      if (child != kNullVertex) {
+        visited[static_cast<std::size_t>(child)] = 1;
+        parent[static_cast<std::size_t>(child)] = v;
+        stack.emplace_back(child, 0);
+      } else {
+        stack.pop_back();
+      }
+    }
+  }
+  return parent;
+}
+
+}  // namespace pardfs

@@ -1,0 +1,18 @@
+// Lexicographic ("ordered") DFS — the unique DFS tree obtained by scanning
+// neighbors in increasing vertex id. The paper (§1) distinguishes the
+// *ordered* DFS tree problem (P-complete, Reif [39]) from the *general* one
+// it solves; this baseline exists so tests can pin down a canonical tree
+// when they need one, and as a reference point in documentation/benches.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pardfs {
+
+// Parent array of the lexicographic DFS forest (roots = smallest alive id
+// of each component).
+std::vector<Vertex> ordered_dfs(const Graph& g);
+
+}  // namespace pardfs

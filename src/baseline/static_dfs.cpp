@@ -1,0 +1,66 @@
+#include "baseline/static_dfs.hpp"
+
+#include "util/check.hpp"
+
+namespace pardfs {
+namespace {
+
+void dfs_tree_from(const Graph& g, Vertex root, std::vector<Vertex>& parent,
+                   std::vector<std::uint8_t>& visited,
+                   std::vector<std::pair<Vertex, std::size_t>>& stack) {
+  visited[static_cast<std::size_t>(root)] = 1;
+  stack.clear();
+  stack.emplace_back(root, 0);
+  while (!stack.empty()) {
+    const Vertex v = stack.back().first;
+    const auto nbrs = g.neighbors(v);
+    std::size_t i = stack.back().second;
+    Vertex child = kNullVertex;
+    while (i < nbrs.size()) {
+      const Vertex w = nbrs[i++];
+      if (!visited[static_cast<std::size_t>(w)]) {
+        child = w;
+        break;
+      }
+    }
+    stack.back().second = i;  // write back before any push (realloc safety)
+    if (child != kNullVertex) {
+      visited[static_cast<std::size_t>(child)] = 1;
+      parent[static_cast<std::size_t>(child)] = v;
+      stack.emplace_back(child, 0);
+    } else {
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Vertex> static_dfs(const Graph& g) {
+  const Vertex cap = g.capacity();
+  std::vector<Vertex> parent(static_cast<std::size_t>(cap), kNullVertex);
+  std::vector<std::uint8_t> visited(static_cast<std::size_t>(cap), 0);
+  std::vector<std::pair<Vertex, std::size_t>> stack;
+  for (Vertex v = 0; v < cap; ++v) {
+    if (g.is_alive(v) && !visited[static_cast<std::size_t>(v)]) {
+      dfs_tree_from(g, v, parent, visited, stack);
+    }
+  }
+  return parent;
+}
+
+std::vector<Vertex> static_dfs_from(const Graph& g, std::span<const Vertex> roots) {
+  const Vertex cap = g.capacity();
+  std::vector<Vertex> parent(static_cast<std::size_t>(cap), kNullVertex);
+  std::vector<std::uint8_t> visited(static_cast<std::size_t>(cap), 0);
+  std::vector<std::pair<Vertex, std::size_t>> stack;
+  for (const Vertex r : roots) {
+    PARDFS_CHECK(g.is_alive(r));
+    if (!visited[static_cast<std::size_t>(r)]) {
+      dfs_tree_from(g, r, parent, visited, stack);
+    }
+  }
+  return parent;
+}
+
+}  // namespace pardfs

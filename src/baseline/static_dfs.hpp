@@ -1,0 +1,25 @@
+// Static DFS baselines (Tarjan, paper reference [47]).
+//
+// `static_dfs` is the O(m + n) recompute-from-scratch comparator used by
+// every benchmark: the dynamic algorithm must beat repeating this per
+// update. The traversal is iterative (no recursion; graphs with 10^6
+// vertices would blow the stack) and visits components in increasing
+// root id, matching the library's implicit-super-root convention.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pardfs {
+
+// DFS forest of g: parent[v] for every alive vertex, kNullVertex for roots
+// and dead slots. Neighbors are explored in adjacency-list order.
+std::vector<Vertex> static_dfs(const Graph& g);
+
+// DFS forest restricted to the given component roots (used by tests).
+// Starts a tree at each vertex of `roots` that is still unvisited.
+std::vector<Vertex> static_dfs_from(const Graph& g, std::span<const Vertex> roots);
+
+}  // namespace pardfs

@@ -1,0 +1,291 @@
+#include "core/adjacency_oracle.hpp"
+
+#include <algorithm>
+
+#include "pram/parallel.hpp"
+#include "util/check.hpp"
+
+namespace pardfs {
+
+void AdjacencyOracle::build(const Graph& g, const TreeIndex& base,
+                            pram::CostModel* cost) {
+  base_ = &base;
+  base_capacity_ = base.capacity();
+  cost_ = cost;
+  PARDFS_CHECK_MSG(g.capacity() <= base.capacity(),
+                   "base tree index must cover the graph");
+  const std::size_t n = static_cast<std::size_t>(g.capacity());
+  built_capacity_ = n;
+  sorted_.assign(n, {});
+  extras_.assign(n, {});
+  dead_.assign(n, 0);
+  deleted_edges_.clear();
+  patch_count_ = 0;
+
+  std::uint64_t total_work = 0;
+  pram::parallel_for_t(0, n, [&](std::size_t sv) {
+    const Vertex v = static_cast<Vertex>(sv);
+    if (!g.is_alive(v)) return;
+    const auto nbrs = g.neighbors(v);
+    auto& list = sorted_[sv];
+    list.assign(nbrs.begin(), nbrs.end());
+    std::sort(list.begin(), list.end(), [&](Vertex a, Vertex b) {
+      return base.post(a) < base.post(b);
+    });
+  });
+  for (std::size_t sv = 0; sv < n; ++sv) total_work += sorted_[sv].size();
+  if (cost_ != nullptr) {
+    // One parallel sort round (Theorem 7/8): O(log n) depth, O(m log n) work.
+    const std::uint64_t logn = n > 1 ? 64 - __builtin_clzll(n - 1) : 1;
+    cost_->add_round(logn, total_work * logn);
+  }
+}
+
+void AdjacencyOracle::clear_patches() {
+  const std::size_t n = built_capacity_;
+  if (extras_.size() > n) {
+    extras_.resize(n);
+    dead_.resize(n);
+    sorted_.resize(n);
+  }
+  for (auto& ex : extras_) ex.clear();
+  std::fill(dead_.begin(), dead_.end(), 0);
+  deleted_edges_.clear();
+  patch_count_ = 0;
+}
+
+void AdjacencyOracle::ensure_patch_capacity(Vertex v) {
+  const std::size_t need = static_cast<std::size_t>(v) + 1;
+  if (extras_.size() < need) {
+    extras_.resize(need);
+    dead_.resize(need, 0);
+    if (sorted_.size() < need) sorted_.resize(need);
+  }
+}
+
+void AdjacencyOracle::note_edge_inserted(Vertex u, Vertex v) {
+  ensure_patch_capacity(std::max(u, v));
+  const std::uint64_t key = undirected_key(u, v);
+  if (deleted_edges_.erase(key) > 0) {
+    // Re-insertion of a base edge: the sorted lists still hold it.
+    const bool u_is_base_edge =
+        is_base_vertex(u) && is_base_vertex(v) &&
+        std::any_of(sorted_[static_cast<std::size_t>(u)].begin(),
+                    sorted_[static_cast<std::size_t>(u)].end(),
+                    [v](Vertex z) { return z == v; });
+    if (u_is_base_edge) {
+      ++patch_count_;
+      return;
+    }
+  }
+  extras_[static_cast<std::size_t>(u)].push_back(v);
+  extras_[static_cast<std::size_t>(v)].push_back(u);
+  ++patch_count_;
+}
+
+void AdjacencyOracle::note_edge_deleted(Vertex u, Vertex v) {
+  ensure_patch_capacity(std::max(u, v));
+  auto drop_extra = [this](Vertex a, Vertex b) {
+    auto& ex = extras_[static_cast<std::size_t>(a)];
+    const auto it = std::find(ex.begin(), ex.end(), b);
+    if (it != ex.end()) {
+      ex.erase(it);
+      return true;
+    }
+    return false;
+  };
+  const bool was_extra = drop_extra(u, v);
+  drop_extra(v, u);
+  if (!was_extra) deleted_edges_.insert(undirected_key(u, v));
+  ++patch_count_;
+}
+
+void AdjacencyOracle::note_vertex_inserted(Vertex v, std::span<const Vertex> neighbors) {
+  ensure_patch_capacity(v);
+  // The inserted vertex conceptually receives the highest post-order number
+  // (paper §5.2): it never lies on a base segment, so its edges live purely
+  // in the extra lists and it is queried via singleton segments.
+  for (const Vertex u : neighbors) note_edge_inserted(u, v);
+  ++patch_count_;
+}
+
+void AdjacencyOracle::note_vertex_deleted(Vertex v,
+                                          std::span<const Vertex> former_neighbors) {
+  ensure_patch_capacity(v);
+  for (const Vertex u : former_neighbors) note_edge_deleted(u, v);
+  dead_[static_cast<std::size_t>(v)] = 1;
+  ++patch_count_;
+}
+
+AdjacencyOracle::Candidate AdjacencyOracle::better(Candidate a, Candidate b,
+                                                   PathEnd end) {
+  if (!a.valid()) return b;
+  if (!b.valid()) return a;
+  if (a.post != b.post) {
+    const bool a_wins = end == PathEnd::kTop ? a.post > b.post : a.post < b.post;
+    return a_wins ? a : b;
+  }
+  // Same target vertex: deterministic tie-break on source id.
+  return a.source <= b.source ? a : b;
+}
+
+AdjacencyOracle::Candidate AdjacencyOracle::probe_up(Vertex u, PathSeg seg,
+                                                     PathEnd end) const {
+  Candidate result;
+  if (!is_base_vertex(u) || !is_base_vertex(seg.top)) return result;
+  if (!base_->is_ancestor(seg.top, u) || seg.top == u) return result;
+  // Ancestors of u on [top..bottom] form the chain [lca(u, bottom)..top];
+  // their posts fill [post(l), post(top)] within N(u) exclusively.
+  const Vertex l = base_->lca(u, seg.bottom);
+  PARDFS_DCHECK(l != kNullVertex);
+  const std::int32_t lo = base_->post(l);
+  const std::int32_t hi = base_->post(seg.top);
+  const auto& list = sorted_[static_cast<std::size_t>(u)];
+  auto post_less = [this](Vertex z, std::int32_t p) { return base_->post(z) < p; };
+  const auto begin =
+      std::lower_bound(list.begin(), list.end(), lo, post_less);
+  const auto finish =
+      std::lower_bound(list.begin(), list.end(), hi + 1, post_less);
+  std::uint64_t probes = 1;
+  if (end == PathEnd::kTop) {
+    for (auto it = finish; it != begin;) {
+      --it;
+      ++probes;
+      if (edge_deleted(u, *it) || vertex_dead(*it)) continue;
+      result = {base_->post(*it), u, *it};
+      break;
+    }
+  } else {
+    for (auto it = begin; it != finish; ++it) {
+      ++probes;
+      if (edge_deleted(u, *it) || vertex_dead(*it)) continue;
+      result = {base_->post(*it), u, *it};
+      break;
+    }
+  }
+  if (cost_ != nullptr) cost_->add_query(probes);
+  return result;
+}
+
+AdjacencyOracle::Candidate AdjacencyOracle::probe_down(Vertex u, PathSeg seg,
+                                                       PathEnd end) const {
+  Candidate result;
+  if (!is_base_vertex(u) || !is_base_vertex(seg.top)) return result;
+  // Only relevant when u lies strictly above the whole segment.
+  if (!base_->is_ancestor(u, seg.top) || u == seg.top) return result;
+  const std::int32_t lo = base_->post(seg.bottom);
+  const std::int32_t hi = base_->post(seg.top);
+  const auto& list = sorted_[static_cast<std::size_t>(u)];
+  auto post_less = [this](Vertex z, std::int32_t p) { return base_->post(z) < p; };
+  const auto begin = std::lower_bound(list.begin(), list.end(), lo, post_less);
+  const auto finish = std::lower_bound(list.begin(), list.end(), hi + 1, post_less);
+  std::uint64_t probes = 1;
+  // Candidates in the window are inside T(seg.top); the chain test filters
+  // the ones actually on [top..bottom].
+  for (auto it = begin; it != finish; ++it) {
+    ++probes;
+    const Vertex z = *it;
+    if (edge_deleted(u, z) || vertex_dead(z)) continue;
+    if (!base_->is_ancestor(z, seg.bottom)) continue;  // off-chain branch
+    result = better(result, {base_->post(z), u, z}, end);
+  }
+  if (cost_ != nullptr) cost_->add_query(probes);
+  return result;
+}
+
+AdjacencyOracle::Candidate AdjacencyOracle::probe_extras(Vertex u, PathSeg seg,
+                                                         PathEnd end) const {
+  Candidate result;
+  if (static_cast<std::size_t>(u) >= extras_.size()) return result;
+  const auto& ex = extras_[static_cast<std::size_t>(u)];
+  for (const Vertex z : ex) {
+    if (vertex_dead(z) || edge_deleted(u, z)) continue;
+    if (!on_segment(z, seg)) continue;
+    result = better(result, {base_->post(z), u, z}, end);
+  }
+  if (cost_ != nullptr && !ex.empty()) cost_->add_query(ex.size());
+  return result;
+}
+
+AdjacencyOracle::Candidate AdjacencyOracle::probe_all(Vertex u, PathSeg seg,
+                                                      PathEnd end) const {
+  if (vertex_dead(u)) return {};
+  // Singleton segment holding an inserted vertex: only patched edges can
+  // reach it; direct membership test over u's extras.
+  if (seg.top == seg.bottom && !is_base_vertex(seg.top)) {
+    Candidate result;
+    if (static_cast<std::size_t>(u) < extras_.size()) {
+      for (const Vertex z : extras_[static_cast<std::size_t>(u)]) {
+        if (z == seg.top && !edge_deleted(u, z) && !vertex_dead(z)) {
+          result = {0, u, z};
+          break;
+        }
+      }
+    }
+    if (cost_ != nullptr) cost_->add_query(1);
+    return result;
+  }
+  Candidate result = probe_up(u, seg, end);
+  result = better(result, probe_down(u, seg, end), end);
+  result = better(result, probe_extras(u, seg, end), end);
+  return result;
+}
+
+std::optional<Edge> AdjacencyOracle::query_vertex(Vertex u, PathSeg seg,
+                                                  PathEnd end) const {
+  const Candidate c = probe_all(u, seg, end);
+  if (!c.valid()) return std::nullopt;
+  return Edge{c.source, c.target};
+}
+
+std::optional<Edge> AdjacencyOracle::query_sources(std::span<const Vertex> sources,
+                                                   PathSeg seg, PathEnd end) const {
+  const Candidate best = pram::parallel_reduce(
+      std::size_t{0}, sources.size(), Candidate{},
+      [&](std::size_t i) { return probe_all(sources[i], seg, end); },
+      [end](Candidate a, Candidate b) { return better(a, b, end); });
+  if (!best.valid()) return std::nullopt;
+  return Edge{best.source, best.target};
+}
+
+std::optional<Edge> AdjacencyOracle::query_segments(PathSeg source, PathSeg target,
+                                                    PathEnd end) const {
+  // Inserted-vertex singletons act as plain single searchers.
+  if (source.top == source.bottom && !is_base_vertex(source.top)) {
+    return query_vertex(source.top, target, end);
+  }
+  PARDFS_DCHECK(is_base_vertex(source.top) && is_base_vertex(source.bottom));
+  // If no source vertex descends from a target vertex, source vertices are
+  // valid searchers (their target-side neighbors are all their ancestors).
+  // Otherwise the roles flip (paper §5.2's reversal); for two disjoint base
+  // chains at least one direction is always valid.
+  const bool source_descends =
+      is_base_vertex(target.top) && base_->is_ancestor(target.top, source.bottom);
+  if (!source_descends) {
+    Candidate best;
+    for (Vertex v = source.bottom;; v = base_->parent(v)) {
+      best = better(best, probe_all(v, target, end), end);
+      if (v == source.top) break;
+    }
+    if (!best.valid()) return std::nullopt;
+    return Edge{best.source, best.target};
+  }
+  // Flipped: walk the target chain; each target vertex searches over the
+  // source chain (any hit counts), and we keep the hit nearest the requested
+  // end of the target.
+  Candidate best;
+  for (Vertex q = target.bottom;; q = base_->parent(q)) {
+    const Candidate hit = probe_all(q, source, PathEnd::kTop);
+    if (hit.valid()) {
+      // hit = {post(source-endpoint), q, source-endpoint}; rekey by q's post
+      // so `better` compares positions on the *target*.
+      const Candidate rekeyed{base_->post(q), hit.target, q};
+      best = better(best, rekeyed, end);
+    }
+    if (q == target.top) break;
+  }
+  if (!best.valid()) return std::nullopt;
+  return Edge{best.source, best.target};
+}
+
+}  // namespace pardfs

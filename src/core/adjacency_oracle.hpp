@@ -1,0 +1,159 @@
+// The data structure D (paper §5.2, Theorems 8 and 9).
+//
+// For the *base* DFS tree T, every vertex stores its neighbors sorted by
+// their post-order index in T. Because T is a DFS tree, all neighbors of a
+// vertex are its ancestors or descendants, so the neighbors incident on an
+// ancestor-descendant path of T occupy a contiguous post-order range — one
+// binary search answers
+//     Query(w, path(x, y)):  the edge from w incident on path(x, y)
+//                            nearest a chosen end of the path.
+// Subtree and path variants assign one logical processor per source vertex
+// and reduce (Theorem 8).
+//
+// Multi-update support (Theorem 9): the oracle is *never rebuilt* in
+// fault-tolerant mode. Instead it accepts patches:
+//   * inserted edges/vertices live in small per-vertex "extra" lists,
+//     scanned linearly (the O(k) term of Theorem 9);
+//   * an inserted vertex is conceptually appended after all post-order
+//     numbers; a query path containing it is decomposed so the inserted
+//     vertex forms its own singleton segment;
+//   * deleted edges/vertices are filtered while probing (the binary search
+//     steps over at most k dead candidates).
+//
+// Directionality: a probe from u over segment [top..bottom] finds
+//   (A) u's base neighbors that are ancestors of u on the segment — a pure
+//       binary search, valid when top is an ancestor of u; and
+//   (B) u's base neighbors that are descendants of u on the segment —
+//       needed only after previous updates re-rooted parts of the tree
+//       (fault-tolerant mode), where a queried source may sit *above* the
+//       base segment. Candidates in the post window [post(bottom),
+//       post(top)] are scanned with an O(1) on-chain filter. In
+//       single-update mode case (B) never fires for base edges (the paper's
+//       disjointness precondition holds in the base tree), so the pure
+//       Theorem 8 bound applies; see DESIGN.md for the caveat in
+//       fault-tolerant mode.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "pram/cost_model.hpp"
+#include "tree/tree_index.hpp"
+
+namespace pardfs {
+
+enum class PathEnd : std::uint8_t { kTop, kBottom };
+
+// Inclusive ancestor-descendant chain of the *base* tree: `top` is an
+// ancestor (or equal) of `bottom`.
+struct PathSeg {
+  Vertex top = kNullVertex;
+  Vertex bottom = kNullVertex;
+};
+
+class AdjacencyOracle {
+ public:
+  AdjacencyOracle() = default;
+
+  // Builds D over g and the base tree index (which must outlive this oracle
+  // or be re-`build`()-built together with it). O(m log n) work; the cost
+  // model records one O(log n)-deep sort round (Theorem 8).
+  void build(const Graph& g, const TreeIndex& base, pram::CostModel* cost = nullptr);
+
+  // ---- Theorem 9 patches ---------------------------------------------------
+  void note_edge_inserted(Vertex u, Vertex v);
+  void note_edge_deleted(Vertex u, Vertex v);
+  // Neighbors must be alive at call time. Assigns the new vertex a pseudo
+  // post-order number above all existing ones.
+  void note_vertex_inserted(Vertex v, std::span<const Vertex> neighbors);
+  // `former_neighbors`: adjacency of v just before deletion.
+  void note_vertex_deleted(Vertex v, std::span<const Vertex> former_neighbors);
+
+  std::size_t patch_count() const { return patch_count_; }
+
+  // Drops all Theorem 9 patches, restoring the as-built oracle (used by the
+  // fault-tolerant wrapper to answer independent update batches).
+  void clear_patches();
+
+  // Re-points the oracle at the (moved) base index. Owners embedding both
+  // the index and the oracle call this from their move operations.
+  void rebind_base(const TreeIndex* base) { base_ = base; }
+
+  // True if v existed at build time and is part of the base tree.
+  bool is_base_vertex(Vertex v) const {
+    return v >= 0 && v < base_capacity_ && base_->in_forest(v);
+  }
+
+  const TreeIndex& base() const { return *base_; }
+
+  // ---- queries ---------------------------------------------------------—--
+  // Among u's current graph neighbors lying on `seg`, the one nearest the
+  // given end. Returns {u, y} with y on seg. `seg` may also be a singleton
+  // holding an inserted vertex. O(log n + patches) probes.
+  std::optional<Edge> query_vertex(Vertex u, PathSeg seg, PathEnd end) const;
+
+  // Best edge over many searchers (one logical processor each; parallel
+  // reduction, deterministic tie-breaking by (target post, source id)).
+  std::optional<Edge> query_sources(std::span<const Vertex> sources, PathSeg seg,
+                                    PathEnd end) const;
+
+  // Edges between two disjoint base chains; the returned edge's endpoint on
+  // `target` is nearest the given end of `target`. Internally searches from
+  // whichever side is the descendant side (the paper's role reversal for
+  // Query(path, path)). Returns {x in source, y in target}.
+  std::optional<Edge> query_segments(PathSeg source, PathSeg target, PathEnd end) const;
+
+  // Cheap existence test built on the above.
+  bool segment_has_edge(PathSeg source, PathSeg target) const {
+    return query_segments(source, target, PathEnd::kTop).has_value();
+  }
+
+ private:
+  struct Candidate {
+    // Ordering key: post index of the target endpoint (larger = nearer top).
+    std::int32_t post = -1;
+    Vertex source = kNullVertex;
+    Vertex target = kNullVertex;
+    bool valid() const { return target != kNullVertex; }
+  };
+
+  bool edge_deleted(Vertex u, Vertex v) const {
+    return !deleted_edges_.empty() && deleted_edges_.contains(undirected_key(u, v));
+  }
+  bool vertex_dead(Vertex v) const {
+    return static_cast<std::size_t>(v) < dead_.size() && dead_[static_cast<std::size_t>(v)];
+  }
+  bool on_segment(Vertex x, PathSeg seg) const {
+    return is_base_vertex(x) && base_->is_ancestor(seg.top, x) &&
+           base_->is_ancestor(x, seg.bottom);
+  }
+  void ensure_patch_capacity(Vertex v);
+
+  // Direction (A): ancestors of u on seg (binary search over sorted list).
+  Candidate probe_up(Vertex u, PathSeg seg, PathEnd end) const;
+  // Direction (B): descendants of u on seg (windowed scan with chain filter).
+  Candidate probe_down(Vertex u, PathSeg seg, PathEnd end) const;
+  // Patched (inserted) edges of u restricted to seg.
+  Candidate probe_extras(Vertex u, PathSeg seg, PathEnd end) const;
+  Candidate probe_all(Vertex u, PathSeg seg, PathEnd end) const;
+  static Candidate better(Candidate a, Candidate b, PathEnd end);
+
+  const TreeIndex* base_ = nullptr;
+  Vertex base_capacity_ = 0;
+  std::size_t built_capacity_ = 0;  // graph capacity at build time
+  // sorted_[u]: base neighbors of u ordered by base post index.
+  std::vector<std::vector<Vertex>> sorted_;
+  // extras_[u]: endpoints of edges inserted after the build (includes edges
+  // of inserted vertices). Small: O(k) per Theorem 9's k <= log n updates.
+  std::vector<std::vector<Vertex>> extras_;
+  std::vector<std::uint8_t> dead_;
+  std::unordered_set<std::uint64_t> deleted_edges_;
+  std::size_t patch_count_ = 0;
+  mutable pram::CostModel* cost_ = nullptr;
+};
+
+}  // namespace pardfs

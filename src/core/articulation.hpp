@@ -1,0 +1,24 @@
+// Articulation points and bridges from a DFS forest (classic low-link).
+//
+// Used by the distributed DFS-forest maintenance (paper §6.2: each node
+// stores the articulation points/bridges to decide which components form
+// after a deletion) and by the network-resilience example. O(m + n).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pardfs {
+
+struct CutStructure {
+  std::vector<std::uint8_t> is_articulation;  // indexed by vertex
+  std::vector<Edge> bridges;                  // (parent, child) tree edges
+};
+
+// parent must describe a DFS forest of g (validated in debug builds via the
+// low-link computation itself; cross edges would corrupt low values).
+CutStructure find_cuts(const Graph& g, std::span<const Vertex> parent);
+
+}  // namespace pardfs

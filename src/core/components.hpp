@@ -1,0 +1,102 @@
+// Components of the unvisited graph (paper §4) and the oracle view that
+// lets the rerooting engine query them against paths of the *current* tree.
+//
+// The paper maintains every unvisited component in one of two shapes:
+//   C1 — a single subtree of the current DFS tree;
+//   C2 — one ancestor-descendant path p_c plus subtrees each having an edge
+//        to p_c.
+// This engine represents a component as {entry vertex r_c, attach edge, set
+// of *pieces*}, a piece being a whole current-tree subtree or a monotone
+// current-tree path. The paper's invariant is "at most one path piece"; the
+// engine tolerates more (a fallback traversal can create them — see
+// DESIGN.md §3.4) at the cost of extra rounds, never correctness.
+//
+// OracleView bridges current-tree coordinates and the base-tree coordinates
+// of D: in fully dynamic mode the two trees coincide and every query is one
+// oracle call; in fault-tolerant mode a current path is decomposed into
+// base-monotone segments (Theorem 9), inserted vertices becoming singleton
+// segments.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/adjacency_oracle.hpp"
+#include "graph/edge.hpp"
+#include "tree/tree_index.hpp"
+
+namespace pardfs {
+
+enum class PieceKind : std::uint8_t { kSubtree, kPath };
+
+struct Piece {
+  PieceKind kind = PieceKind::kSubtree;
+  Vertex root = kNullVertex;    // kSubtree: current-tree subtree root
+  Vertex top = kNullVertex;     // kPath: shallow end in the current tree
+  Vertex bottom = kNullVertex;  // kPath: deep end in the current tree
+
+  static Piece subtree(Vertex r) { return {PieceKind::kSubtree, r, kNullVertex, kNullVertex}; }
+  static Piece path(Vertex top, Vertex bottom) {
+    return {PieceKind::kPath, kNullVertex, top, bottom};
+  }
+};
+
+struct Component {
+  Vertex entry = kNullVertex;          // r_c: root of this component in T*
+  Vertex attach_parent = kNullVertex;  // parent of entry in T*; null = tree root
+  std::int32_t entry_piece = -1;       // index of the piece containing entry
+  std::int32_t budget = 0;             // N0 of the originating reroot (thresholds)
+  std::vector<Piece> pieces;
+};
+
+// A base-monotone fragment of a current-tree path, ordered near-to-far.
+struct CurSeg {
+  PathSeg seg;            // base coordinates (top ancestor of bottom); for an
+                          // inserted vertex, top == bottom == that vertex
+  bool near_is_top = true;  // which base end of seg faces the path's near end
+};
+
+class OracleView {
+ public:
+  OracleView() = default;
+  OracleView(const AdjacencyOracle* oracle, const TreeIndex* current, bool identity)
+      : oracle_(oracle), cur_(current), identity_(identity) {}
+
+  const TreeIndex& cur() const { return *cur_; }
+  const AdjacencyOracle& oracle() const { return *oracle_; }
+
+  // Decomposes the current-tree monotone path walked from `near` to `far`
+  // (inclusive; one endpoint is a current-tree ancestor of the other) into
+  // base segments ordered from the near end.
+  void decompose(Vertex near, Vertex far, std::vector<CurSeg>& out) const;
+
+  // Best edge from a piece to the current-tree path [near..far], preferring
+  // target endpoints nearest `near`. Returns {x in piece, y on path}.
+  std::optional<Edge> query_piece(const Piece& src, Vertex near, Vertex far) const;
+
+  // Best edge from an explicit searcher set (each vertex one logical
+  // processor) to the path [near..far], preferring endpoints nearest `near`.
+  std::optional<Edge> query_vertices(std::span<const Vertex> sources, Vertex near,
+                                     Vertex far) const;
+
+  // Any edge between the piece and the path?
+  bool piece_has_edge(const Piece& src, Vertex a, Vertex b) const {
+    return query_piece(src, a, b).has_value();
+  }
+
+  // First edge from a single searcher over pre-decomposed target segments
+  // (used by the heavy-subtree scenarios, which reduce per-source results
+  // with custom keys).
+  std::optional<Edge> query_vertex_over(Vertex u, const std::vector<CurSeg>& segs) const;
+
+ private:
+  std::optional<Edge> query_sources_over_segs(std::span<const Vertex> sources,
+                                              const std::vector<CurSeg>& segs) const;
+
+  const AdjacencyOracle* oracle_ = nullptr;
+  const TreeIndex* cur_ = nullptr;
+  bool identity_ = true;
+};
+
+}  // namespace pardfs

@@ -1,0 +1,139 @@
+#include "core/dynamic_dfs.hpp"
+
+#include <utility>
+
+#include "baseline/static_dfs.hpp"
+#include "util/check.hpp"
+
+namespace pardfs {
+
+DynamicDfs::DynamicDfs(Graph graph, RerootStrategy strategy, pram::CostModel* cost)
+    : graph_(std::move(graph)), strategy_(strategy), cost_(cost) {
+  parent_ = static_dfs(graph_);
+  rebuild();
+}
+
+DynamicDfs::DynamicDfs(DynamicDfs&& other) noexcept
+    : graph_(std::move(other.graph_)),
+      parent_(std::move(other.parent_)),
+      index_(std::move(other.index_)),
+      oracle_(std::move(other.oracle_)),
+      strategy_(other.strategy_),
+      cost_(other.cost_),
+      last_stats_(other.last_stats_) {
+  oracle_.rebind_base(&index_);
+}
+
+DynamicDfs& DynamicDfs::operator=(DynamicDfs&& other) noexcept {
+  if (this != &other) {
+    graph_ = std::move(other.graph_);
+    parent_ = std::move(other.parent_);
+    index_ = std::move(other.index_);
+    oracle_ = std::move(other.oracle_);
+    strategy_ = other.strategy_;
+    cost_ = other.cost_;
+    last_stats_ = other.last_stats_;
+    oracle_.rebind_base(&index_);
+  }
+  return *this;
+}
+
+std::vector<std::uint8_t> DynamicDfs::alive_flags() const {
+  std::vector<std::uint8_t> alive(static_cast<std::size_t>(graph_.capacity()), 0);
+  for (Vertex v = 0; v < graph_.capacity(); ++v) {
+    alive[static_cast<std::size_t>(v)] = graph_.is_alive(v) ? 1 : 0;
+  }
+  return alive;
+}
+
+void DynamicDfs::rebuild() {
+  const auto alive = alive_flags();
+  parent_.resize(static_cast<std::size_t>(graph_.capacity()), kNullVertex);
+  index_.build(parent_, alive);
+  oracle_.build(graph_, index_, cost_);
+}
+
+void DynamicDfs::execute(const ReductionResult& reduction) {
+  // parent_ already holds the pre-update forest; reroots overwrite their
+  // subtrees, direct assignments patch single slots.
+  const OracleView view(&oracle_, &index_, /*identity=*/true);
+  Rerooter engine(index_, view, strategy_, cost_);
+  last_stats_ = engine.run(reduction.reroots, parent_);
+  for (const auto& [v, p] : reduction.direct) {
+    parent_[static_cast<std::size_t>(v)] = p;
+  }
+}
+
+void DynamicDfs::insert_edge(Vertex u, Vertex v) {
+  PARDFS_CHECK(graph_.add_edge(u, v));
+  oracle_.note_edge_inserted(u, v);
+  if (index_.is_ancestor(u, v) || index_.is_ancestor(v, u)) {
+    last_stats_ = {};  // back edge: forest unchanged
+  } else {
+    const ReductionResult r = reduce_insert_edge(index_, u, v);
+    execute(r);
+  }
+  rebuild();
+}
+
+void DynamicDfs::delete_edge(Vertex u, Vertex v) {
+  oracle_.note_edge_deleted(u, v);
+  PARDFS_CHECK(graph_.remove_edge(u, v));
+  const bool u_parent = parent_[static_cast<std::size_t>(v)] == u;
+  const bool v_parent = parent_[static_cast<std::size_t>(u)] == v;
+  if (!u_parent && !v_parent) {
+    last_stats_ = {};  // back edge: forest unchanged
+  } else {
+    const Vertex parent_side = u_parent ? u : v;
+    const Vertex child_side = u_parent ? v : u;
+    const OracleView view(&oracle_, &index_, /*identity=*/true);
+    const ReductionResult r =
+        reduce_delete_tree_edge(index_, view, parent_side, child_side);
+    execute(r);
+  }
+  rebuild();
+}
+
+Vertex DynamicDfs::insert_vertex(std::span<const Vertex> neighbors) {
+  const Vertex v = graph_.add_vertex(neighbors);
+  oracle_.note_vertex_inserted(v, neighbors);
+  parent_.resize(static_cast<std::size_t>(graph_.capacity()), kNullVertex);
+  const ReductionResult r = reduce_insert_vertex(index_, v, neighbors);
+  execute(r);
+  rebuild();
+  return v;
+}
+
+void DynamicDfs::delete_vertex(Vertex v) {
+  const auto nbrs = graph_.neighbors(v);
+  const std::vector<Vertex> former_neighbors(nbrs.begin(), nbrs.end());
+  std::vector<Vertex> children(index_.children(v).begin(), index_.children(v).end());
+  const Vertex former_parent = parent_[static_cast<std::size_t>(v)];
+  oracle_.note_vertex_deleted(v, former_neighbors);
+  graph_.remove_vertex(v);
+  const OracleView view(&oracle_, &index_, /*identity=*/true);
+  const ReductionResult r =
+      reduce_delete_vertex(index_, view, v, children, former_parent);
+  parent_[static_cast<std::size_t>(v)] = kNullVertex;
+  execute(r);
+  rebuild();
+}
+
+void DynamicDfs::apply(const GraphUpdate& update) {
+  switch (update.kind) {
+    case GraphUpdate::Kind::kInsertEdge:
+      insert_edge(update.u, update.v);
+      break;
+    case GraphUpdate::Kind::kDeleteEdge:
+      delete_edge(update.u, update.v);
+      break;
+    case GraphUpdate::Kind::kInsertVertex:
+      insert_vertex(update.neighbors);
+      break;
+    case GraphUpdate::Kind::kDeleteVertex:
+      delete_vertex(update.u);
+      break;
+  }
+}
+
+}  // namespace pardfs

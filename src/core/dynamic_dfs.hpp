@@ -1,0 +1,71 @@
+// Fully dynamic DFS (paper Theorem 1 / 13): maintains a DFS forest of an
+// undirected graph under edge/vertex insertions and deletions.
+//
+// Per update: patch D, mutate the graph, reduce the update to independent
+// subtree reroots (§3), run the parallel rerooting algorithm (§4), then
+// rebuild the tree index and D on the new tree — the step that needs the
+// paper's m processors and makes the whole update O~(1) parallel time.
+//
+// Disconnected graphs are maintained as a forest (the paper's virtual root
+// kept implicit; see reduction.hpp).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/adjacency_oracle.hpp"
+#include "core/components.hpp"
+#include "core/reduction.hpp"
+#include "core/rerooter.hpp"
+#include "graph/graph.hpp"
+#include "pram/cost_model.hpp"
+#include "tree/tree_index.hpp"
+
+namespace pardfs {
+
+class DynamicDfs {
+ public:
+  // Takes ownership of (a copy of) the initial graph; builds the initial
+  // forest with the static O(m + n) algorithm and preprocesses D.
+  explicit DynamicDfs(Graph graph,
+                      RerootStrategy strategy = RerootStrategy::kPaper,
+                      pram::CostModel* cost = nullptr);
+
+  // Movable (the embedded oracle is re-pointed at the moved tree index);
+  // copying would duplicate megabytes silently, so it is disabled.
+  DynamicDfs(DynamicDfs&& other) noexcept;
+  DynamicDfs& operator=(DynamicDfs&& other) noexcept;
+  DynamicDfs(const DynamicDfs&) = delete;
+  DynamicDfs& operator=(const DynamicDfs&) = delete;
+
+  // ---- updates (mirrored into the internal graph) --------------------------
+  void insert_edge(Vertex u, Vertex v);
+  void delete_edge(Vertex u, Vertex v);
+  Vertex insert_vertex(std::span<const Vertex> neighbors);
+  void delete_vertex(Vertex v);
+  void apply(const GraphUpdate& update);
+
+  // ---- observers ---------------------------------------------------------
+  const Graph& graph() const { return graph_; }
+  std::span<const Vertex> parent() const { return parent_; }
+  Vertex parent_of(Vertex v) const { return parent_[static_cast<std::size_t>(v)]; }
+  Vertex root_of(Vertex v) const { return index_.root_of(v); }
+  const TreeIndex& tree() const { return index_; }
+  // Statistics of the most recent update's rerooting.
+  const RerootStats& last_stats() const { return last_stats_; }
+
+ private:
+  void rebuild();  // tree index + oracle after a structural change
+  void execute(const ReductionResult& reduction);
+  std::vector<std::uint8_t> alive_flags() const;
+
+  Graph graph_;
+  std::vector<Vertex> parent_;
+  TreeIndex index_;
+  AdjacencyOracle oracle_;
+  RerootStrategy strategy_;
+  pram::CostModel* cost_;
+  RerootStats last_stats_;
+};
+
+}  // namespace pardfs

@@ -1,0 +1,104 @@
+#include "core/reduction.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace pardfs {
+
+ReductionResult reduce_delete_tree_edge(const TreeIndex& cur, const OracleView& view,
+                                        Vertex parent_side, Vertex child_side) {
+  PARDFS_CHECK(cur.parent(child_side) == parent_side);
+  ReductionResult out;
+  // Lowest (deepest) edge from T(child) incident on path(parent .. tree root).
+  const Vertex tree_root = cur.root_of(parent_side);
+  const auto e = view.query_piece(Piece::subtree(child_side),
+                                  /*near=*/parent_side, /*far=*/tree_root);
+  if (e) {
+    out.reroots.push_back({child_side, e->u, e->v});
+  } else {
+    // The component separates; its DFS tree is unchanged, rooted at child
+    // (implicit super-root attachment).
+    out.direct.emplace_back(child_side, kNullVertex);
+  }
+  return out;
+}
+
+ReductionResult reduce_insert_edge(const TreeIndex& cur, Vertex u, Vertex v) {
+  PARDFS_CHECK(!cur.is_ancestor(u, v) && !cur.is_ancestor(v, u));
+  ReductionResult out;
+  if (cur.root_of(u) != cur.root_of(v)) {
+    // Components merge: reroot the smaller tree at its endpoint and hang it
+    // from the other (the LCA is the implicit super root).
+    const Vertex ru = cur.root_of(u);
+    const Vertex rv = cur.root_of(v);
+    if (cur.size(rv) <= cur.size(ru)) {
+      out.reroots.push_back({rv, v, u});
+    } else {
+      out.reroots.push_back({ru, u, v});
+    }
+    return out;
+  }
+  const Vertex w = cur.lca(u, v);
+  const Vertex v_prime = cur.child_toward(w, v);
+  out.reroots.push_back({v_prime, v, u});
+  return out;
+}
+
+ReductionResult reduce_delete_vertex(const TreeIndex& cur, const OracleView& view,
+                                     Vertex v, std::span<const Vertex> children,
+                                     Vertex former_parent) {
+  ReductionResult out;
+  if (former_parent == kNullVertex) {
+    // v was a tree root: each child subtree keeps its structure as a new
+    // tree (cross edges between sibling subtrees cannot exist).
+    for (const Vertex c : children) out.direct.emplace_back(c, kNullVertex);
+    return out;
+  }
+  const Vertex tree_root = cur.root_of(former_parent);
+  for (const Vertex c : children) {
+    const auto e = view.query_piece(Piece::subtree(c), /*near=*/former_parent,
+                                    /*far=*/tree_root);
+    if (e) {
+      out.reroots.push_back({c, e->u, e->v});
+    } else {
+      out.direct.emplace_back(c, kNullVertex);
+    }
+  }
+  (void)v;
+  return out;
+}
+
+ReductionResult reduce_insert_vertex(const TreeIndex& cur, Vertex v,
+                                     std::span<const Vertex> neighbors) {
+  ReductionResult out;
+  if (neighbors.empty()) {
+    out.direct.emplace_back(v, kNullVertex);
+    return out;
+  }
+  const Vertex v_j = neighbors.front();
+  out.direct.emplace_back(v, v_j);
+  // For every other neighbor not on path(v_j, root): reroot the subtree
+  // hanging off that path (or the foreign tree) that contains it — once per
+  // subtree (extra edges into the same subtree become back edges).
+  std::vector<Vertex> rerooted;  // subtree roots already claimed
+  for (const Vertex v_i : std::span(neighbors).subspan(1)) {
+    Vertex subtree_root;
+    if (cur.root_of(v_i) != cur.root_of(v_j)) {
+      subtree_root = cur.root_of(v_i);  // hangs off the implicit super root
+    } else if (cur.is_ancestor(v_i, v_j)) {
+      continue;  // v_i on path(v_j, root): (v, v_i) becomes a back edge
+    } else {
+      const Vertex l = cur.lca(v_i, v_j);
+      subtree_root = cur.child_toward(l, v_i);
+    }
+    if (std::find(rerooted.begin(), rerooted.end(), subtree_root) != rerooted.end()) {
+      continue;
+    }
+    rerooted.push_back(subtree_root);
+    out.reroots.push_back({subtree_root, v_i, v});
+  }
+  return out;
+}
+
+}  // namespace pardfs

@@ -1,0 +1,248 @@
+#include "core/rerooter.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/rerooter_internal.hpp"
+#include "util/check.hpp"
+
+namespace pardfs {
+
+void RerootStats::accumulate(const RerootStats& other) {
+  global_rounds += other.global_rounds;
+  query_batches += other.query_batches;
+  components_processed += other.components_processed;
+  vertices_traversed += other.vertices_traversed;
+  disintegrating += other.disintegrating;
+  path_halving += other.path_halving;
+  disconnecting += other.disconnecting;
+  heavy_l += other.heavy_l;
+  heavy_p += other.heavy_p;
+  heavy_r += other.heavy_r;
+  heavy_special += other.heavy_special;
+  fallbacks += other.fallbacks;
+  max_phase = std::max(max_phase, other.max_phase);
+}
+
+namespace detail {
+
+std::vector<Run> split_runs(const TreeIndex& cur, const std::vector<Vertex>& chain) {
+  std::vector<Run> runs;
+  const std::size_t n = chain.size();
+  std::size_t start = 0;
+  int direction = 0;  // +1 down (next is child), -1 up, 0 unknown
+  for (std::size_t i = 1; i < n; ++i) {
+    const Vertex a = chain[i - 1];
+    const Vertex b = chain[i];
+    int step = 0;
+    if (cur.parent(b) == a) {
+      step = +1;
+    } else if (cur.parent(a) == b) {
+      step = -1;
+    }  // else: back-edge jump (step stays 0)
+    if (step == 0 || (direction != 0 && step != direction)) {
+      runs.push_back({start, i - 1});
+      start = i;
+      direction = 0;
+      if (step != 0) {
+        // A bend keeps walking in the tree; the new run starts at b with an
+        // established direction only after its own second vertex.
+      }
+    } else {
+      direction = step;
+    }
+  }
+  runs.push_back({start, n - 1});
+  return runs;
+}
+
+ChainHit best_edge_to_chain(EngineCtx& ctx, std::span<const Piece> pieces,
+                            const std::vector<Vertex>& chain,
+                            const std::vector<Run>& runs) {
+  ChainHit best;
+  for (const Piece& piece : pieces) {
+    for (const Run& run : runs) {
+      // Prefer endpoints nearest the run's late end (largest chain position).
+      const auto hit =
+          ctx.view().query_piece(piece, chain[run.last], chain[run.first]);
+      if (!hit) continue;
+      const std::int32_t pos = ctx.chain_pos(hit->v);
+      PARDFS_CHECK_MSG(pos >= 0, "query returned an endpoint off the chain");
+      if (pos > best.pos ||
+          (pos == best.pos && hit->u < best.edge.u)) {
+        best = {*hit, pos};
+      }
+    }
+  }
+  // Batch accounting happens at the call sites: queries for different
+  // groups are independent (disjoint sources) and share one set per run.
+  return best;
+}
+
+namespace {
+
+bool piece_contains(const TreeIndex& cur, const Piece& p, Vertex x) {
+  if (p.kind == PieceKind::kSubtree) return cur.is_ancestor(p.root, x);
+  return cur.is_ancestor(p.top, x) && cur.is_ancestor(x, p.bottom);
+}
+
+// Union-find over piece indices (tiny, path-halving only).
+class MiniUf {
+ public:
+  explicit MiniUf(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+// Applies a planned traversal: writes T* parents along the chain, groups the
+// leftover pieces into components (edge-connected sets), and assigns each
+// new component its entry via the components property (the edge to the chain
+// that the DFS retreat meets first).
+void finish_traversal(detail::EngineCtx& ctx, const Component& comp,
+                      detail::TraversalPlan&& plan, std::span<Vertex> parent_out,
+                      std::vector<Component>& next) {
+  const TreeIndex& cur = ctx.cur();
+  PARDFS_CHECK(!plan.pstar.empty());
+  PARDFS_CHECK(plan.pstar.front() == comp.entry);
+
+  Vertex prev = comp.attach_parent;
+  for (const Vertex v : plan.pstar) {
+    parent_out[static_cast<std::size_t>(v)] = prev;
+    prev = v;
+  }
+  ctx.stats().vertices_traversed += plan.pstar.size();
+  if (plan.leftovers.empty()) return;
+
+  const std::vector<detail::Run> runs = detail::split_runs(cur, plan.pstar);
+  ctx.index_chain(plan.pstar);
+
+  // Group leftover pieces: only (subtree|path) <-> path edges can exist
+  // (subtree-subtree edges would be cross edges of the current DFS tree).
+  const std::size_t k = plan.leftovers.size();
+  std::vector<std::size_t> path_idx;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (plan.leftovers[i].kind == PieceKind::kPath) path_idx.push_back(i);
+  }
+  MiniUf uf(k);
+  if (!path_idx.empty()) {
+    for (std::size_t i = 0; i < k; ++i) {
+      const Piece& pi = plan.leftovers[i];
+      for (const std::size_t p : path_idx) {
+        if (p == i) continue;
+        if (pi.kind == PieceKind::kPath && p < i) continue;  // pairs once
+        const Piece& pp = plan.leftovers[p];
+        if (ctx.view().piece_has_edge(pi, pp.top, pp.bottom)) uf.unite(i, p);
+      }
+    }
+    ctx.count_batch();  // grouping = one set of independent queries
+  }
+
+  // Gather groups.
+  std::vector<std::vector<std::size_t>> groups;
+  {
+    std::vector<std::int32_t> group_of(k, -1);
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t r = uf.find(i);
+      if (group_of[r] < 0) {
+        group_of[r] = static_cast<std::int32_t>(groups.size());
+        groups.emplace_back();
+      }
+      groups[static_cast<std::size_t>(group_of[r])].push_back(i);
+    }
+  }
+
+  // Attachment queries: all groups are sourced from disjoint pieces, so for
+  // each run of p* they form ONE set of independent queries.
+  for (std::size_t b = 0; b < runs.size(); ++b) ctx.count_batch();
+  for (const auto& group : groups) {
+    std::vector<Piece> pieces;
+    pieces.reserve(group.size());
+    for (const std::size_t i : group) pieces.push_back(plan.leftovers[i]);
+    const detail::ChainHit hit =
+        detail::best_edge_to_chain(ctx, pieces, plan.pstar, runs);
+    PARDFS_CHECK_MSG(hit.valid(), "leftover component has no edge to p*");
+    Component nc;
+    nc.entry = hit.edge.u;
+    nc.attach_parent = hit.edge.v;
+    nc.budget = comp.budget;
+    nc.pieces = std::move(pieces);
+    nc.entry_piece = -1;
+    for (std::size_t i = 0; i < nc.pieces.size(); ++i) {
+      if (piece_contains(cur, nc.pieces[i], nc.entry)) {
+        nc.entry_piece = static_cast<std::int32_t>(i);
+        break;
+      }
+    }
+    PARDFS_CHECK_MSG(nc.entry_piece >= 0, "entry vertex not inside any piece");
+    next.push_back(std::move(nc));
+  }
+}
+
+}  // namespace
+}  // namespace detail
+
+Rerooter::Rerooter(const TreeIndex& current, const OracleView& view,
+                   RerootStrategy strategy, pram::CostModel* cost)
+    : cur_(current), view_(view), strategy_(strategy), cost_(cost) {}
+
+RerootStats Rerooter::run(std::span<const RerootRequest> requests,
+                          std::span<Vertex> parent_out) {
+  RerootStats stats;
+  detail::EngineCtx ctx(cur_, view_, stats);
+
+  std::vector<Component> active;
+  active.reserve(requests.size());
+  for (const RerootRequest& r : requests) {
+    PARDFS_CHECK(cur_.in_forest(r.subtree_root));
+    PARDFS_CHECK_MSG(cur_.is_ancestor(r.subtree_root, r.new_root),
+                     "new root must lie inside the rerooted subtree");
+    Component c;
+    c.entry = r.new_root;
+    c.attach_parent = r.attach_parent;
+    c.budget = cur_.size(r.subtree_root);
+    c.pieces = {Piece::subtree(r.subtree_root)};
+    c.entry_piece = 0;
+    active.push_back(std::move(c));
+  }
+
+  std::vector<Component> next;
+  while (!active.empty()) {
+    ++stats.global_rounds;
+    next.clear();
+    std::uint32_t round_batches = 0;
+    // Components advance simultaneously on a PRAM; here they execute in turn
+    // within the round while the cost model records the parallel semantics
+    // (per-round batch count = max over components).
+    for (Component& comp : active) {
+      ++stats.components_processed;
+      ctx.begin_step();
+      detail::TraversalPlan plan = detail::plan_traversal(ctx, comp, strategy_);
+      detail::finish_traversal(ctx, comp, std::move(plan), parent_out, next);
+      round_batches = std::max(round_batches, ctx.step_batches());
+    }
+    stats.query_batches += round_batches;
+    if (cost_ != nullptr) {
+      const std::uint64_t n = static_cast<std::uint64_t>(cur_.capacity());
+      const std::uint64_t logn = n > 1 ? 64 - __builtin_clzll(n - 1) : 1;
+      // Each batch is one set of independent queries: O(log n) PRAM depth.
+      for (std::uint32_t b = 0; b < round_batches; ++b) {
+        cost_->add_query_round(logn, 0);
+      }
+    }
+    active.swap(next);
+  }
+  return stats;
+}
+
+}  // namespace pardfs

@@ -1,0 +1,35 @@
+// Basic vertex/edge vocabulary shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace pardfs {
+
+using Vertex = std::int32_t;
+inline constexpr Vertex kNullVertex = -1;
+
+struct Edge {
+  Vertex u = kNullVertex;
+  Vertex v = kNullVertex;
+
+  constexpr bool valid() const { return u != kNullVertex && v != kNullVertex; }
+  constexpr Edge reversed() const { return {v, u}; }
+  friend constexpr bool operator==(const Edge&, const Edge&) = default;
+};
+
+// Canonical undirected key (min, max) packed into 64 bits, for hash sets.
+constexpr std::uint64_t undirected_key(Vertex a, Vertex b) {
+  const std::uint32_t lo = static_cast<std::uint32_t>(a < b ? a : b);
+  const std::uint32_t hi = static_cast<std::uint32_t>(a < b ? b : a);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace pardfs
+
+template <>
+struct std::hash<pardfs::Edge> {
+  std::size_t operator()(const pardfs::Edge& e) const noexcept {
+    return std::hash<std::uint64_t>{}(pardfs::undirected_key(e.u, e.v));
+  }
+};

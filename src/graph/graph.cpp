@@ -1,0 +1,90 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace pardfs {
+
+void Graph::check_alive(Vertex v) const {
+  PARDFS_CHECK_MSG(is_alive(v), "vertex is not alive");
+}
+
+Vertex Graph::add_vertex() {
+  adjacency_.emplace_back();
+  alive_.push_back(true);
+  ++num_alive_;
+  return static_cast<Vertex>(adjacency_.size() - 1);
+}
+
+Vertex Graph::add_vertex(std::span<const Vertex> neighbors) {
+  const Vertex v = add_vertex();
+  for (const Vertex u : neighbors) {
+    const bool added = add_edge(u, v);
+    PARDFS_CHECK_MSG(added, "duplicate neighbor in vertex insertion");
+  }
+  return v;
+}
+
+void Graph::remove_vertex(Vertex v) {
+  check_alive(v);
+  auto& nbrs = adjacency_[static_cast<std::size_t>(v)];
+  // Detach from each neighbor's list.
+  for (const Vertex u : nbrs) {
+    auto& other = adjacency_[static_cast<std::size_t>(u)];
+    other.erase(std::find(other.begin(), other.end(), v));
+  }
+  num_edges_ -= static_cast<std::int64_t>(nbrs.size());
+  nbrs.clear();
+  nbrs.shrink_to_fit();
+  alive_[static_cast<std::size_t>(v)] = false;
+  --num_alive_;
+}
+
+bool Graph::add_edge(Vertex u, Vertex v) {
+  check_alive(u);
+  check_alive(v);
+  PARDFS_CHECK_MSG(u != v, "self-loops are not supported");
+  if (has_edge(u, v)) return false;
+  adjacency_[static_cast<std::size_t>(u)].push_back(v);
+  adjacency_[static_cast<std::size_t>(v)].push_back(u);
+  ++num_edges_;
+  return true;
+}
+
+bool Graph::remove_edge(Vertex u, Vertex v) {
+  check_alive(u);
+  check_alive(v);
+  auto& au = adjacency_[static_cast<std::size_t>(u)];
+  auto it = std::find(au.begin(), au.end(), v);
+  if (it == au.end()) return false;
+  au.erase(it);
+  auto& av = adjacency_[static_cast<std::size_t>(v)];
+  av.erase(std::find(av.begin(), av.end(), u));
+  --num_edges_;
+  return true;
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const {
+  if (!is_alive(u) || !is_alive(v)) return false;
+  const auto& au = adjacency_[static_cast<std::size_t>(u)];
+  const auto& av = adjacency_[static_cast<std::size_t>(v)];
+  // Scan the shorter list.
+  const auto& shorter = au.size() <= av.size() ? au : av;
+  const Vertex target = au.size() <= av.size() ? v : u;
+  return std::find(shorter.begin(), shorter.end(), target) != shorter.end();
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(static_cast<std::size_t>(num_edges_));
+  for (Vertex u = 0; u < capacity(); ++u) {
+    if (!alive_[static_cast<std::size_t>(u)]) continue;
+    for (const Vertex v : adjacency_[static_cast<std::size_t>(u)]) {
+      if (u < v) out.push_back({u, v});
+    }
+  }
+  return out;
+}
+
+}  // namespace pardfs

@@ -1,0 +1,73 @@
+// Dynamic undirected graph substrate.
+//
+// Supports the paper's extended update model: edge insert/delete, vertex
+// delete, and vertex insert *with an arbitrary set of incident edges*.
+// Vertex ids are dense 0..capacity-1; deleted vertices leave a hole (the
+// id is not recycled) so that ids remain stable across an update sequence.
+//
+// Adjacency is stored as per-vertex vectors. Deletion is O(degree) via
+// swap-erase; the library's per-update cost is dominated by tree/oracle work
+// anyway, and keeping adjacency compact makes the oracle rebuild a linear
+// scan. Parallel edges and self-loops are rejected (the DFS-tree machinery
+// assumes a simple graph, as does the paper).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge.hpp"
+
+namespace pardfs {
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(Vertex n) : adjacency_(static_cast<std::size_t>(n)),
+                             alive_(static_cast<std::size_t>(n), true),
+                             num_alive_(n) {}
+
+  // ---- capacity / liveness -------------------------------------------------
+  Vertex capacity() const { return static_cast<Vertex>(adjacency_.size()); }
+  Vertex num_vertices() const { return num_alive_; }
+  std::int64_t num_edges() const { return num_edges_; }
+  bool is_alive(Vertex v) const {
+    return v >= 0 && v < capacity() && alive_[static_cast<std::size_t>(v)];
+  }
+
+  // ---- updates ---------------------------------------------------------—--
+  // Adds an isolated vertex; returns its id.
+  Vertex add_vertex();
+  // Adds a vertex with an arbitrary set of incident edges (paper's extended
+  // vertex insertion). Neighbors must be alive and distinct.
+  Vertex add_vertex(std::span<const Vertex> neighbors);
+  // Removes a vertex and all incident edges.
+  void remove_vertex(Vertex v);
+  // Returns false if the edge already exists.
+  bool add_edge(Vertex u, Vertex v);
+  // Returns false if the edge does not exist.
+  bool remove_edge(Vertex u, Vertex v);
+
+  bool has_edge(Vertex u, Vertex v) const;
+
+  // ---- access ---------------------------------------------------------—--
+  std::span<const Vertex> neighbors(Vertex v) const {
+    return adjacency_[static_cast<std::size_t>(v)];
+  }
+  Vertex degree(Vertex v) const {
+    return static_cast<Vertex>(adjacency_[static_cast<std::size_t>(v)].size());
+  }
+
+  // All edges as (u < v) pairs, in adjacency order. O(m).
+  std::vector<Edge> edges() const;
+
+ private:
+  void check_alive(Vertex v) const;
+
+  std::vector<std::vector<Vertex>> adjacency_;
+  std::vector<bool> alive_;
+  Vertex num_alive_ = 0;
+  std::int64_t num_edges_ = 0;
+};
+
+}  // namespace pardfs

@@ -1,0 +1,16 @@
+#include "pram/cost_model.hpp"
+
+namespace pardfs::pram {
+
+CostSnapshot operator-(const CostSnapshot& after, const CostSnapshot& before) {
+  CostSnapshot d;
+  d.rounds = after.rounds - before.rounds;
+  d.pram_time = after.pram_time - before.pram_time;
+  d.work = after.work - before.work;
+  d.query_rounds = after.query_rounds - before.query_rounds;
+  d.queries = after.queries - before.queries;
+  d.query_probes = after.query_probes - before.query_probes;
+  return d;
+}
+
+}  // namespace pardfs::pram

@@ -1,0 +1,92 @@
+// PRAM cost model instrumentation.
+//
+// The paper's bounds are EREW PRAM statements: "O(log^3 n) time using n
+// processors". On commodity shared memory the honest way to reproduce them
+// is to count the quantities the theorems bound:
+//
+//   * rounds — sequential steps, each being one batch of independent
+//     operations (a set of independent queries on D, one batched tree-op
+//     pass, one parallel sort). Theorem 3 bounds the number of query rounds
+//     per reroot by O(log^2 n); each round costs O(log n) PRAM time
+//     (Theorem 8), giving the O(log^3 n) headline.
+//   * pram_time — rounds weighted by their per-round PRAM depth (log n for
+//     query batches and sorts, O(1) for LCA batches on CREW, etc.). This is
+//     the modelled parallel time.
+//   * work — total primitive operations across all processors.
+//
+// A CostModel is plumbed through the update path; benchmarks report its
+// counters next to wall-clock time. Counting is cheap (a few adds per
+// batch, one add per probe) and can be shared across threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace pardfs::pram {
+
+struct CostSnapshot {
+  std::uint64_t rounds = 0;       // sequential batch steps
+  std::uint64_t pram_time = 0;    // modelled parallel time (depth-weighted rounds)
+  std::uint64_t work = 0;         // total primitive ops
+  std::uint64_t query_rounds = 0; // rounds that were sets of independent D queries
+  std::uint64_t queries = 0;      // individual D queries issued
+  std::uint64_t query_probes = 0; // binary-search probes inside D
+};
+
+class CostModel {
+ public:
+  // One sequential step consisting of a batch of independent operations,
+  // each of PRAM depth `depth` (e.g. log n for a sorted-adjacency probe).
+  void add_round(std::uint64_t depth, std::uint64_t batch_work) {
+    rounds_.fetch_add(1, std::memory_order_relaxed);
+    pram_time_.fetch_add(depth, std::memory_order_relaxed);
+    work_.fetch_add(batch_work, std::memory_order_relaxed);
+  }
+
+  // A round that is one set of independent queries on D (Theorem 3 counts
+  // these). `depth` is the per-query PRAM depth, usually O(log n).
+  void add_query_round(std::uint64_t depth, std::uint64_t batch_work) {
+    query_rounds_.fetch_add(1, std::memory_order_relaxed);
+    add_round(depth, batch_work);
+  }
+
+  void add_query(std::uint64_t probes) {
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    query_probes_.fetch_add(probes, std::memory_order_relaxed);
+  }
+
+  void add_work(std::uint64_t ops) { work_.fetch_add(ops, std::memory_order_relaxed); }
+
+  void reset() {
+    rounds_ = 0;
+    pram_time_ = 0;
+    work_ = 0;
+    query_rounds_ = 0;
+    queries_ = 0;
+    query_probes_ = 0;
+  }
+
+  CostSnapshot snapshot() const {
+    CostSnapshot s;
+    s.rounds = rounds_.load(std::memory_order_relaxed);
+    s.pram_time = pram_time_.load(std::memory_order_relaxed);
+    s.work = work_.load(std::memory_order_relaxed);
+    s.query_rounds = query_rounds_.load(std::memory_order_relaxed);
+    s.queries = queries_.load(std::memory_order_relaxed);
+    s.query_probes = query_probes_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<std::uint64_t> rounds_{0};
+  std::atomic<std::uint64_t> pram_time_{0};
+  std::atomic<std::uint64_t> work_{0};
+  std::atomic<std::uint64_t> query_rounds_{0};
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> query_probes_{0};
+};
+
+// Difference of two snapshots (after - before), for per-update reporting.
+CostSnapshot operator-(const CostSnapshot& after, const CostSnapshot& before);
+
+}  // namespace pardfs::pram

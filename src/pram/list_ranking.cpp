@@ -1,0 +1,39 @@
+#include "pram/list_ranking.hpp"
+
+#include <atomic>
+
+#include "pram/parallel.hpp"
+
+namespace pardfs::pram {
+
+std::vector<std::uint32_t> list_rank(std::span<const std::uint32_t> next) {
+  const std::size_t n = next.size();
+  std::vector<std::uint32_t> succ(next.begin(), next.end());
+  std::vector<std::uint32_t> rank(n);
+  parallel_for_t(0, n, [&](std::size_t i) {
+    rank[i] = succ[i] == kListEnd ? 0u : 1u;
+  });
+  // Pointer jumping: after k iterations each pointer spans 2^k links.
+  std::vector<std::uint32_t> succ_next(n), rank_next(n);
+  bool live = n > 0;
+  while (live) {
+    std::atomic<bool> any{false};
+    parallel_for_t(0, n, [&](std::size_t i) {
+      const std::uint32_t s = succ[i];
+      if (s != kListEnd) {
+        rank_next[i] = rank[i] + rank[s];
+        succ_next[i] = succ[s];
+        if (succ[s] != kListEnd) any.store(true, std::memory_order_relaxed);
+      } else {
+        rank_next[i] = rank[i];
+        succ_next[i] = kListEnd;
+      }
+    });
+    succ.swap(succ_next);
+    rank.swap(rank_next);
+    live = any.load(std::memory_order_relaxed);
+  }
+  return rank;
+}
+
+}  // namespace pardfs::pram

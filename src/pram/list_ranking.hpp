@@ -1,0 +1,24 @@
+// Pointer-jumping list ranking (Wyllie), the primitive behind the
+// Euler-tour technique (Tarjan–Vishkin, Theorem 4 of the paper).
+//
+// Given a linked list as a successor array, computes for each node its
+// distance to the list tail. O(n log n) work, O(log n) depth — the textbook
+// EREW formulation; the paper only needs it inside O(log n)-time tree
+// preprocessing, where the extra log factor in work is absorbed by the
+// poly-log slack of the bounds.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pardfs::pram {
+
+inline constexpr std::uint32_t kListEnd = 0xFFFFFFFFu;
+
+// next[i] = successor of i, or kListEnd for the tail.
+// Returns rank[i] = number of links from i to the tail (tail has rank 0).
+// Every node must reach a tail (no cycles); multiple disjoint lists are fine.
+std::vector<std::uint32_t> list_rank(std::span<const std::uint32_t> next);
+
+}  // namespace pardfs::pram

@@ -1,0 +1,55 @@
+#include "pram/merge_sort.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "pram/parallel.hpp"
+
+namespace pardfs::pram {
+namespace {
+
+template <typename T>
+void blocked_merge_sort(std::span<T> data) {
+  const std::size_t n = data.size();
+  if (n < kSerialGrain) {
+    std::stable_sort(data.begin(), data.end());
+    return;
+  }
+  const int threads = num_threads();
+  // Round block count up to a power of two so merging is a clean binary tree.
+  std::size_t blocks = 1;
+  while (blocks < static_cast<std::size_t>(threads)) blocks <<= 1;
+  const std::size_t block = (n + blocks - 1) / blocks;
+
+  parallel_for_t(0, blocks, [&](std::size_t b) {
+    const std::size_t lo = b * block;
+    if (lo >= n) return;
+    const std::size_t hi = std::min(lo + block, n);
+    std::stable_sort(data.begin() + lo, data.begin() + hi);
+  });
+
+  std::vector<T> buffer(n);
+  std::span<T> src = data;
+  std::span<T> dst(buffer);
+  for (std::size_t width = block; width < n; width <<= 1) {
+    parallel_for_t(0, (n + 2 * width - 1) / (2 * width), [&](std::size_t pair) {
+      const std::size_t lo = pair * 2 * width;
+      const std::size_t mid = std::min(lo + width, n);
+      const std::size_t hi = std::min(lo + 2 * width, n);
+      std::merge(src.begin() + lo, src.begin() + mid, src.begin() + mid,
+                 src.begin() + hi, dst.begin() + lo);
+    });
+    std::swap(src, dst);
+  }
+  if (src.data() != data.data()) {
+    parallel_for_t(0, n, [&](std::size_t i) { data[i] = src[i]; });
+  }
+}
+
+}  // namespace
+
+void merge_sort(std::span<std::uint32_t> data) { blocked_merge_sort(data); }
+
+void merge_sort_pairs(std::span<std::uint64_t> packed) { blocked_merge_sort(packed); }
+
+}  // namespace pardfs::pram

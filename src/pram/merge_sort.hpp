@@ -1,0 +1,23 @@
+// Parallel merge sort — the stand-in for Cole's O(log n)-time EREW merge
+// sort (Theorem 7), which the paper uses to sort adjacency lists by
+// post-order index and to take min/max of edge sets.
+//
+// Blocked implementation: sort P blocks independently, then merge pairwise
+// (log P rounds, each merge split by binary search for parallelism). Same
+// O(n log n) work; depth O(log^2 n) instead of Cole's O(log n) — irrelevant
+// to any claimed bound because sorting appears only in preprocessing rounds
+// already accounted as "one parallel sort round" by the cost model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace pardfs::pram {
+
+// Sort 32-bit keys ascending. Deterministic regardless of thread count.
+void merge_sort(std::span<std::uint32_t> data);
+
+// Sort (key, value) pairs by key ascending, stably.
+void merge_sort_pairs(std::span<std::uint64_t> packed);  // key in high 32 bits
+
+}  // namespace pardfs::pram

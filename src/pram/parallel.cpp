@@ -1,0 +1,25 @@
+#include "pram/parallel.hpp"
+
+#include <omp.h>
+
+#include <atomic>
+
+namespace pardfs::pram {
+
+namespace {
+std::atomic<int> g_threads{0};  // 0 = OpenMP default
+}  // namespace
+
+int num_threads() {
+  const int configured = g_threads.load(std::memory_order_relaxed);
+  return configured > 0 ? configured : omp_get_max_threads();
+}
+
+void set_num_threads(int n) { g_threads.store(n, std::memory_order_relaxed); }
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  parallel_for_t(begin, end, [&](std::size_t i) { body(i); });
+}
+
+}  // namespace pardfs::pram

@@ -1,0 +1,80 @@
+// Thin PRAM-style facade over OpenMP.
+//
+// The algorithm code reads as the paper's PRAM pseudo-code: `parallel_for`
+// assigns one logical processor per element, `parallel_reduce` is an
+// O(log n)-depth tree reduction. Results are deterministic and independent
+// of the physical thread count (reductions use a user-supplied associative,
+// commutative-or-index-ordered combiner applied over a fixed blocking).
+//
+// Grain control: spawning OpenMP teams for tiny loops costs more than the
+// loop body; below `kSerialGrain` elements the facade runs serially. This
+// changes nothing observable (the cost model counts logical rounds, not
+// threads).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace pardfs::pram {
+
+inline constexpr std::size_t kSerialGrain = 2048;
+
+// Number of worker threads the facade will use (defaults to OpenMP's choice).
+int num_threads();
+void set_num_threads(int n);
+
+// for (i in [begin, end)) body(i), one logical processor per index.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+// Template variant that avoids std::function overhead in hot paths.
+template <typename Body>
+void parallel_for_t(std::size_t begin, std::size_t end, Body&& body) {
+  const std::size_t count = end > begin ? end - begin : 0;
+  if (count == 0) return;
+  if (count < kSerialGrain) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = static_cast<std::int64_t>(begin);
+       i < static_cast<std::int64_t>(end); ++i) {
+    body(static_cast<std::size_t>(i));
+  }
+}
+
+// Tree reduction: combine(identity, f(begin), ..., f(end-1)). `combine` must
+// be associative; evaluation order is a fixed left-to-right blocking so the
+// result is deterministic for non-commutative combiners too.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::size_t begin, std::size_t end, T identity, Map&& map,
+                  Combine&& combine) {
+  const std::size_t count = end > begin ? end - begin : 0;
+  if (count == 0) return identity;
+  if (count < kSerialGrain) {
+    T acc = identity;
+    for (std::size_t i = begin; i < end; ++i) acc = combine(acc, map(i));
+    return acc;
+  }
+  const int threads = num_threads();
+  std::vector<T> partial(static_cast<std::size_t>(threads), identity);
+  const std::size_t block = (count + threads - 1) / threads;
+#pragma omp parallel num_threads(threads)
+  {
+#pragma omp for schedule(static)
+    for (int t = 0; t < threads; ++t) {
+      const std::size_t lo = begin + static_cast<std::size_t>(t) * block;
+      const std::size_t hi = lo + block < end ? lo + block : end;
+      T acc = identity;
+      for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, map(i));
+      partial[static_cast<std::size_t>(t)] = acc;
+    }
+  }
+  T acc = identity;
+  for (const T& p : partial) acc = combine(acc, p);
+  return acc;
+}
+
+}  // namespace pardfs::pram

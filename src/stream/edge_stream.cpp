@@ -1,0 +1,22 @@
+#include "stream/edge_stream.hpp"
+
+#include <algorithm>
+
+namespace pardfs::stream {
+
+void EdgeStream::delete_edge(Vertex u, Vertex v) {
+  const auto key = undirected_key(u, v);
+  edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                              [key](const Edge& e) {
+                                return undirected_key(e.u, e.v) == key;
+                              }),
+               edges_.end());
+}
+
+void EdgeStream::delete_vertex(Vertex v) {
+  edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                              [v](const Edge& e) { return e.u == v || e.v == v; }),
+               edges_.end());
+}
+
+}  // namespace pardfs::stream

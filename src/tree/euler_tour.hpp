@@ -1,0 +1,34 @@
+// Euler-tour technique (Tarjan–Vishkin; paper Theorem 4).
+//
+// Computes, fully in parallel (pointer-jumping list ranking + scans):
+// pre-order number, post-order number, depth (level) and subtree size
+// (number of descendants) for every vertex of a rooted forest given as a
+// parent array. O(n log n) work, O(log n) depth.
+//
+// TreeIndex uses a sequential O(n) build for its tables (faster on one
+// socket); this module is the PRAM-faithful construction and is
+// cross-checked against TreeIndex in the test suite — it is the substrate
+// the paper's preprocessing bound (Theorem 4/10) rests on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge.hpp"
+
+namespace pardfs {
+
+struct EulerTourResult {
+  std::vector<std::int32_t> pre;    // -1 for vertices outside the forest
+  std::vector<std::int32_t> post;   // -1 for vertices outside the forest
+  std::vector<std::int32_t> depth;  // -1 for vertices outside the forest
+  std::vector<std::int32_t> size;   // 0 for vertices outside the forest
+};
+
+// parent[v] == kNullVertex: v is a root if alive (empty alive = all alive),
+// otherwise v is skipped entirely.
+EulerTourResult euler_tour(std::span<const Vertex> parent,
+                           std::span<const std::uint8_t> alive = {});
+
+}  // namespace pardfs

@@ -1,0 +1,63 @@
+#include "tree/lca.hpp"
+
+#include <utility>
+
+#include "pram/parallel.hpp"
+#include "util/check.hpp"
+
+namespace pardfs {
+
+void LcaTable::build(std::vector<Vertex> euler, std::vector<std::int32_t> depth_at,
+                     std::vector<std::int32_t> first_pos) {
+  euler_ = std::move(euler);
+  depth_at_ = std::move(depth_at);
+  first_pos_ = std::move(first_pos);
+  const std::size_t n = euler_.size();
+  table_.clear();
+  log2_.assign(n + 1, 0);
+  for (std::size_t i = 2; i <= n; ++i) log2_[i] = log2_[i / 2] + 1;
+  if (n == 0) return;
+
+  const int levels = log2_[n] + 1;
+  table_.resize(static_cast<std::size_t>(levels));
+  table_[0].resize(n);
+  pram::parallel_for_t(0, n, [&](std::size_t i) {
+    table_[0][i] = static_cast<std::int32_t>(i);
+  });
+  for (int k = 1; k < levels; ++k) {
+    const std::size_t span = std::size_t{1} << k;
+    const std::size_t rows = n - span + 1;
+    table_[static_cast<std::size_t>(k)].resize(rows);
+    auto& cur = table_[static_cast<std::size_t>(k)];
+    const auto& prev = table_[static_cast<std::size_t>(k - 1)];
+    pram::parallel_for_t(0, rows, [&](std::size_t i) {
+      const std::int32_t a = prev[i];
+      const std::int32_t b = prev[i + span / 2];
+      cur[i] = depth_at_[static_cast<std::size_t>(a)] <=
+                       depth_at_[static_cast<std::size_t>(b)]
+                   ? a
+                   : b;
+    });
+  }
+}
+
+std::int32_t LcaTable::argmin(std::int32_t lo, std::int32_t hi) const {
+  const std::int32_t len = hi - lo + 1;
+  const std::int32_t k = log2_[static_cast<std::size_t>(len)];
+  const std::int32_t a = table_[static_cast<std::size_t>(k)][static_cast<std::size_t>(lo)];
+  const std::int32_t b = table_[static_cast<std::size_t>(k)]
+                               [static_cast<std::size_t>(hi - (1 << k) + 1)];
+  return depth_at_[static_cast<std::size_t>(a)] <= depth_at_[static_cast<std::size_t>(b)]
+             ? a
+             : b;
+}
+
+Vertex LcaTable::query(Vertex u, Vertex v) const {
+  std::int32_t pu = first_pos_[static_cast<std::size_t>(u)];
+  std::int32_t pv = first_pos_[static_cast<std::size_t>(v)];
+  PARDFS_DCHECK(pu >= 0 && pv >= 0);
+  if (pu > pv) std::swap(pu, pv);
+  return euler_[static_cast<std::size_t>(argmin(pu, pv))];
+}
+
+}  // namespace pardfs

@@ -1,0 +1,44 @@
+// O(1) LCA after O(n log n) preprocessing: Euler tour + sparse-table RMQ.
+//
+// Stand-in for Schieber–Vishkin (paper Theorem 5/6) with identical query
+// complexity; the preprocessing is one parallel pass plus a table fill whose
+// rows are independent (O(log n) PRAM rounds). See DESIGN.md §6 for the
+// substitution note.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge.hpp"
+
+namespace pardfs {
+
+class LcaTable {
+ public:
+  LcaTable() = default;
+
+  // euler: vertex sequence of the tour (forests: tours concatenated),
+  // depth_at: depth of euler[i], first_pos: first occurrence of each vertex
+  // in the tour (-1 for vertices outside the forest).
+  void build(std::vector<Vertex> euler, std::vector<std::int32_t> depth_at,
+             std::vector<std::int32_t> first_pos);
+
+  // LCA of u and v assuming they are in the same tree; the TreeIndex wrapper
+  // checks tree identity first.
+  Vertex query(Vertex u, Vertex v) const;
+
+  bool empty() const { return euler_.empty(); }
+
+ private:
+  std::int32_t argmin(std::int32_t lo, std::int32_t hi) const;  // inclusive range
+
+  std::vector<Vertex> euler_;
+  std::vector<std::int32_t> depth_at_;
+  std::vector<std::int32_t> first_pos_;
+  // table_[k] holds argmin positions of windows of length 2^k.
+  std::vector<std::vector<std::int32_t>> table_;
+  std::vector<std::int32_t> log2_;
+};
+
+}  // namespace pardfs

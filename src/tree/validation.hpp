@@ -1,0 +1,32 @@
+// DFS-forest validity checking — the correctness oracle of the test suite.
+//
+// A rooted spanning forest of an undirected graph is a DFS forest iff every
+// non-tree edge is a back edge (one endpoint an ancestor of the other); see
+// the paper's §1. This module checks, in O(m + n):
+//   1. the parent array is a forest over exactly the alive vertices
+//      (acyclic, tree edges are graph edges);
+//   2. the forest spans the graph's connected components one-to-one
+//      (vertices in one graph component form exactly one tree);
+//   3. no non-tree edge is a cross edge.
+// On failure, `reason` describes the first violation found.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace pardfs {
+
+struct ValidationResult {
+  bool ok = true;
+  std::string reason;
+
+  explicit operator bool() const { return ok; }
+};
+
+// parent[v] == kNullVertex marks roots; slots of dead vertices are ignored.
+// parent.size() must equal g.capacity().
+ValidationResult validate_dfs_forest(const Graph& g, std::span<const Vertex> parent);
+
+}  // namespace pardfs

@@ -1,0 +1,38 @@
+// Checked assertions that stay on in release builds.
+//
+// The rerooting algorithm has a large number of structural invariants
+// (component shapes, path monotonicity, query preconditions). Violating one
+// silently would produce a subtly wrong DFS tree, so invariant checks abort
+// with a message instead of being compiled out. Hot-loop-only checks use
+// PARDFS_DCHECK, which compiles away in NDEBUG builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pardfs {
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file, int line,
+                                    const char* msg) {
+  std::fprintf(stderr, "pardfs: check failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace pardfs
+
+#define PARDFS_CHECK(expr)                                             \
+  do {                                                                 \
+    if (!(expr)) ::pardfs::check_fail(#expr, __FILE__, __LINE__, "");  \
+  } while (0)
+
+#define PARDFS_CHECK_MSG(expr, msg)                                      \
+  do {                                                                   \
+    if (!(expr)) ::pardfs::check_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define PARDFS_DCHECK(expr) ((void)0)
+#else
+#define PARDFS_DCHECK(expr) PARDFS_CHECK(expr)
+#endif

@@ -1,0 +1,5 @@
+#include "util/random.hpp"
+
+// Header-only engine; this translation unit exists so the target has a home
+// for future out-of-line additions and to keep one .cpp per module.
+namespace pardfs {}

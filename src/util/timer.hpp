@@ -1,0 +1,26 @@
+// Wall-clock timer used by examples and ad-hoc measurements.
+// Benchmarks proper use google-benchmark's timing machinery instead.
+#pragma once
+
+#include <chrono>
+
+namespace pardfs {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pardfs

@@ -1,0 +1,104 @@
+// Amortized rebuild policy (the paper's closing open question, DESIGN E10):
+// correctness across the whole period knob, and the accounting of rebuilds.
+#include <gtest/gtest.h>
+
+#include "core/fault_tolerant.hpp"
+#include "graph/generators.hpp"
+#include "tree/validation.hpp"
+#include "util/random.hpp"
+
+namespace pardfs {
+namespace {
+
+GraphUpdate convert(const gen::Update& u) {
+  switch (u.kind) {
+    case gen::UpdateKind::kInsertEdge:
+      return GraphUpdate::insert_edge(u.u, u.v);
+    case gen::UpdateKind::kDeleteEdge:
+      return GraphUpdate::delete_edge(u.u, u.v);
+    case gen::UpdateKind::kInsertVertex:
+      return GraphUpdate::insert_vertex(u.neighbors);
+    case gen::UpdateKind::kDeleteVertex:
+      return GraphUpdate::delete_vertex(u.u);
+  }
+  return GraphUpdate::insert_edge(u.u, u.v);
+}
+
+class AmortizedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AmortizedSweep, ForestStaysValidForEveryPeriod) {
+  const int period = GetParam();
+  Rng rng(1000 + static_cast<std::uint64_t>(period));
+  Graph g = gen::random_connected(60, 100, rng);
+  AmortizedDynamicDfs dfs(g, static_cast<std::size_t>(period));
+  for (int step = 0; step < 80; ++step) {
+    gen::Update u;
+    ASSERT_TRUE(gen::random_update(dfs.graph(), rng, 1, 1, 0.4, 0.4, u));
+    dfs.apply(convert(u));
+    const auto val = validate_dfs_forest(dfs.graph(), dfs.parent());
+    ASSERT_TRUE(val.ok) << "period=" << period << " step=" << step << ": "
+                        << val.reason;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, AmortizedSweep, ::testing::Values(1, 2, 4, 8, 16),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "period" + std::to_string(info.param);
+                         });
+
+TEST(Amortized, RebuildCountMatchesPeriod) {
+  Rng rng(5);
+  Graph g = gen::random_connected(40, 60, rng);
+  AmortizedDynamicDfs dfs(g, 4);
+  for (int step = 0; step < 20; ++step) {
+    gen::Update u;
+    ASSERT_TRUE(gen::random_update(dfs.graph(), rng, 1, 1, 0, 0, u));
+    dfs.apply(convert(u));
+  }
+  EXPECT_EQ(dfs.rebuilds(), 5u) << "20 updates at period 4";
+}
+
+TEST(Amortized, PeriodZeroBehavesAsOne) {
+  Rng rng(6);
+  Graph g = gen::random_connected(20, 30, rng);
+  AmortizedDynamicDfs dfs(g, 0);
+  EXPECT_EQ(dfs.period(), 1u);
+  gen::Update u;
+  ASSERT_TRUE(gen::random_update(dfs.graph(), rng, 1, 1, 0, 0, u));
+  dfs.apply(convert(u));
+  EXPECT_EQ(dfs.rebuilds(), 1u);
+}
+
+TEST(FaultTolerantRebase, RebaseMakesCurrentStateTheBaseline) {
+  Graph g = gen::cycle(12);
+  FaultTolerantDfs ft(g);
+  ft.apply_incremental(GraphUpdate::delete_edge(3, 4));
+  ft.rebase();
+  EXPECT_EQ(ft.updates_applied(), 0u);
+  // A reset now returns to the REBASED state, not the original one.
+  ft.apply_incremental(GraphUpdate::delete_edge(8, 9));
+  ft.reset();
+  EXPECT_FALSE(ft.graph().has_edge(3, 4)) << "rebase absorbed the first delete";
+  EXPECT_TRUE(ft.graph().has_edge(8, 9)) << "reset rolled back the second";
+  const auto val = validate_dfs_forest(ft.graph(), ft.parent());
+  EXPECT_TRUE(val.ok) << val.reason;
+}
+
+TEST(FaultTolerantRebase, LongRunBeyondLogN) {
+  // The FT mode alone degrades past ~log n updates; with periodic rebases
+  // arbitrarily long runs stay correct.
+  Rng rng(7);
+  Graph g = gen::random_connected(50, 80, rng);
+  FaultTolerantDfs ft(g);
+  for (int step = 0; step < 100; ++step) {
+    gen::Update u;
+    ASSERT_TRUE(gen::random_update(ft.graph(), rng, 1, 1, 0.3, 0.3, u));
+    ft.apply_incremental(convert(u));
+    if (ft.updates_applied() >= 6) ft.rebase();
+    const auto val = validate_dfs_forest(ft.graph(), ft.parent());
+    ASSERT_TRUE(val.ok) << "step " << step << ": " << val.reason;
+  }
+}
+
+}  // namespace
+}  // namespace pardfs

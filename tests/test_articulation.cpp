@@ -1,0 +1,109 @@
+#include "core/articulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/static_dfs.hpp"
+#include "graph/generators.hpp"
+#include "util/random.hpp"
+
+namespace pardfs {
+namespace {
+
+// Brute force: v is an articulation point iff removing it increases the
+// number of connected components among the remaining vertices.
+int count_components(const Graph& g, Vertex skip) {
+  std::vector<std::int8_t> seen(static_cast<std::size_t>(g.capacity()), 0);
+  int comps = 0;
+  std::vector<Vertex> stack;
+  for (Vertex s = 0; s < g.capacity(); ++s) {
+    if (!g.is_alive(s) || s == skip || seen[static_cast<std::size_t>(s)]) continue;
+    ++comps;
+    stack.push_back(s);
+    seen[static_cast<std::size_t>(s)] = 1;
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      for (const Vertex w : g.neighbors(v)) {
+        if (w == skip || seen[static_cast<std::size_t>(w)]) continue;
+        seen[static_cast<std::size_t>(w)] = 1;
+        stack.push_back(w);
+      }
+    }
+  }
+  return comps;
+}
+
+void check_against_brute_force(const Graph& g) {
+  const auto parent = static_dfs(g);
+  const CutStructure cuts = find_cuts(g, parent);
+  const int base = count_components(g, kNullVertex);
+  for (Vertex v = 0; v < g.capacity(); ++v) {
+    if (!g.is_alive(v)) continue;
+    // v is an articulation point iff removing it increases the component
+    // count among the other vertices (isolated vertices never qualify).
+    const bool brute = g.degree(v) > 0 && count_components(g, v) > base;
+    EXPECT_EQ(static_cast<bool>(cuts.is_articulation[static_cast<std::size_t>(v)]),
+              brute)
+        << "vertex " << v;
+  }
+  // Bridges: removing one must split its component.
+  for (const Edge& b : cuts.bridges) {
+    Graph h = g;
+    h.remove_edge(b.u, b.v);
+    EXPECT_GT(count_components(h, kNullVertex), base)
+        << "claimed bridge (" << b.u << "," << b.v << ")";
+  }
+}
+
+TEST(Articulation, PathEveryInnerVertexIsCut) {
+  Graph g = gen::path(6);
+  const auto parent = static_dfs(g);
+  const CutStructure cuts = find_cuts(g, parent);
+  EXPECT_FALSE(cuts.is_articulation[0]);
+  EXPECT_FALSE(cuts.is_articulation[5]);
+  for (Vertex v = 1; v < 5; ++v) EXPECT_TRUE(cuts.is_articulation[static_cast<std::size_t>(v)]);
+  EXPECT_EQ(cuts.bridges.size(), 5u);
+}
+
+TEST(Articulation, CycleHasNoCuts) {
+  Graph g = gen::cycle(8);
+  const auto parent = static_dfs(g);
+  const CutStructure cuts = find_cuts(g, parent);
+  for (Vertex v = 0; v < 8; ++v) EXPECT_FALSE(cuts.is_articulation[static_cast<std::size_t>(v)]);
+  EXPECT_TRUE(cuts.bridges.empty());
+}
+
+TEST(Articulation, StarCenterIsCut) {
+  Graph g = gen::star(6);
+  const auto parent = static_dfs(g);
+  const CutStructure cuts = find_cuts(g, parent);
+  EXPECT_TRUE(cuts.is_articulation[0]);
+  for (Vertex v = 1; v < 6; ++v) EXPECT_FALSE(cuts.is_articulation[static_cast<std::size_t>(v)]);
+  EXPECT_EQ(cuts.bridges.size(), 5u);
+}
+
+TEST(Articulation, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(404);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vertex n = static_cast<Vertex>(10 + rng.below(60));
+    Graph g = gen::gnp(n, 2.5 / n, rng);
+    check_against_brute_force(g);
+  }
+}
+
+TEST(Articulation, MatchesBruteForceOnDenseGraphs) {
+  Rng rng(405);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = gen::gnm(30, 120, rng);
+    check_against_brute_force(g);
+  }
+}
+
+TEST(Articulation, HandlesDeadVertices) {
+  Graph g = gen::path(5);
+  g.remove_vertex(2);
+  check_against_brute_force(g);
+}
+
+}  // namespace
+}  // namespace pardfs

@@ -1,0 +1,197 @@
+// OracleView: decomposition of current-tree paths into base segments
+// (Theorem 9 plumbing) and piece queries, cross-checked against brute force
+// over the raw graph.
+#include "core/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baseline/static_dfs.hpp"
+#include "core/adjacency_oracle.hpp"
+#include "graph/generators.hpp"
+#include "tree/tree_index.hpp"
+#include "util/random.hpp"
+
+namespace pardfs {
+namespace {
+
+struct ViewFixture {
+  Graph g;
+  std::vector<Vertex> parent;
+  TreeIndex index;
+  AdjacencyOracle oracle;
+
+  explicit ViewFixture(Graph graph) : g(std::move(graph)) {
+    parent = static_dfs(g);
+    index.build(parent);
+    oracle.build(g, index);
+  }
+  OracleView view() const { return OracleView(&oracle, &index, true); }
+};
+
+TEST(OracleViewDecompose, IdentityModeSingleSegment) {
+  ViewFixture f(gen::path(8));
+  const auto v = f.view();
+  std::vector<CurSeg> segs;
+  v.decompose(2, 6, segs);  // 2 is the ancestor on a path tree
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].seg.top, 2);
+  EXPECT_EQ(segs[0].seg.bottom, 6);
+  EXPECT_TRUE(segs[0].near_is_top);
+  v.decompose(6, 2, segs);  // reversed orientation
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].seg.top, 2);
+  EXPECT_FALSE(segs[0].near_is_top);
+}
+
+TEST(OracleViewDecompose, NonIdentitySplitsAtBends) {
+  // Base tree: 0 root, children {1, 2}, 3 under 2. Current tree rerooted at
+  // 1: parents {0->1, 1 root, 2->0, 3->2}. The current-monotone path from
+  // root 1 down to 3 is [1,0,2,3]; its base image ascends 1->0 then
+  // descends 0->2->3, so it must split into two base segments at the bend.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  ViewFixture f(std::move(g));
+  std::vector<Vertex> cur_parent = {1, kNullVertex, 0, 2};
+  TreeIndex cur;
+  cur.build(cur_parent);
+  const OracleView v(&f.oracle, &cur, /*identity=*/false);
+  std::vector<CurSeg> segs;
+  v.decompose(1, 3, segs);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].seg.top, 0);
+  EXPECT_EQ(segs[0].seg.bottom, 1);
+  EXPECT_FALSE(segs[0].near_is_top) << "walk starts at the base-deep end 1";
+  EXPECT_EQ(segs[1].seg.top, 2);
+  EXPECT_EQ(segs[1].seg.bottom, 3);
+  EXPECT_TRUE(segs[1].near_is_top);
+}
+
+TEST(OracleViewDecompose, InsertedVertexBecomesSingleton) {
+  ViewFixture f(gen::path(4));
+  // Insert vertex 4 adjacent to 1 and 3; current tree hangs 4 under 1 and
+  // reroots 2-3 under 4 (parents: 0 root, 1->0, 4->1, 3->4, 2->3).
+  f.oracle.note_vertex_inserted(4, std::vector<Vertex>{1, 3});
+  std::vector<Vertex> cur_parent = {kNullVertex, 0, 3, 4, 1};
+  TreeIndex cur;
+  cur.build(cur_parent);
+  const OracleView v(&f.oracle, &cur, false);
+  std::vector<CurSeg> segs;
+  v.decompose(0, 2, segs);  // path 0,1,4,3,2 in the current tree
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0].seg.top, 0);
+  EXPECT_EQ(segs[0].seg.bottom, 1);
+  EXPECT_EQ(segs[1].seg.top, 4);
+  EXPECT_EQ(segs[1].seg.bottom, 4);
+  EXPECT_EQ(segs[2].seg.top, 2);  // base: 2 is an ancestor of 3
+  EXPECT_EQ(segs[2].seg.bottom, 3);
+}
+
+std::optional<Edge> brute_piece_query(const Graph& g, const TreeIndex& cur,
+                                      const Piece& src, Vertex near, Vertex far) {
+  // All edges from the piece's vertex set to the cur path [near..far];
+  // nearest `near` by cur-path position.
+  std::vector<Vertex> path = cur.path_vertices(near, far);
+  auto pos_of = [&](Vertex y) {
+    const auto it = std::find(path.begin(), path.end(), y);
+    return it == path.end() ? -1 : static_cast<int>(it - path.begin());
+  };
+  auto in_piece = [&](Vertex x) {
+    if (src.kind == PieceKind::kSubtree) return cur.is_ancestor(src.root, x);
+    return cur.is_ancestor(src.top, x) && cur.is_ancestor(x, src.bottom);
+  };
+  std::optional<Edge> best;
+  int best_pos = -1;
+  for (Vertex x = 0; x < g.capacity(); ++x) {
+    if (!g.is_alive(x) || !in_piece(x)) continue;
+    for (const Vertex y : g.neighbors(x)) {
+      const int p = pos_of(y);
+      if (p < 0) continue;
+      if (!best || p < best_pos || (p == best_pos && x < best->u)) {
+        best = Edge{x, y};
+        best_pos = p;
+      }
+    }
+  }
+  return best;
+}
+
+TEST(OracleViewQueryPiece, MatchesBruteForceIdentity) {
+  Rng rng(301);
+  for (int trial = 0; trial < 15; ++trial) {
+    ViewFixture f(gen::random_connected(80, 160, rng));
+    const auto v = f.view();
+    for (int q = 0; q < 80; ++q) {
+      // Random path [near..far] and a disjoint subtree piece.
+      const Vertex far = static_cast<Vertex>(rng.below(80));
+      Vertex near = far;
+      for (std::uint64_t h = rng.below(6); h > 0 && f.index.parent(near) != kNullVertex;
+           --h) {
+        near = f.index.parent(near);
+      }
+      const Vertex w = static_cast<Vertex>(rng.below(80));
+      if (f.index.is_ancestor(w, far) || f.index.is_ancestor(near, w)) continue;
+      const Piece piece = Piece::subtree(w);
+      const auto got = v.query_piece(piece, near, far);
+      const auto expected = brute_piece_query(f.g, f.index, piece, near, far);
+      ASSERT_EQ(got.has_value(), expected.has_value()) << "trial " << trial;
+      if (got) {
+        EXPECT_EQ(got->v, expected->v);
+      }
+    }
+  }
+}
+
+TEST(OracleViewQueryPiece, PathPieceSources) {
+  Rng rng(302);
+  for (int trial = 0; trial < 15; ++trial) {
+    ViewFixture f(gen::random_connected(80, 200, rng));
+    const auto v = f.view();
+    for (int q = 0; q < 60; ++q) {
+      const Vertex far = static_cast<Vertex>(rng.below(80));
+      Vertex near = far;
+      for (std::uint64_t h = rng.below(5); h > 0 && f.index.parent(near) != kNullVertex;
+           --h) {
+        near = f.index.parent(near);
+      }
+      // Source path piece: another random chain, disjoint from the target.
+      const Vertex sb = static_cast<Vertex>(rng.below(80));
+      Vertex st = sb;
+      for (std::uint64_t h = rng.below(5); h > 0 && f.index.parent(st) != kNullVertex;
+           --h) {
+        st = f.index.parent(st);
+      }
+      // Disjointness check by vertex sets.
+      const auto target = f.index.path_vertices(near, far);
+      const auto source = f.index.path_vertices(st, sb);
+      bool overlap = false;
+      for (const Vertex a : source) {
+        overlap |= std::find(target.begin(), target.end(), a) != target.end();
+      }
+      if (overlap) continue;
+      const Piece piece = Piece::path(st, sb);
+      const auto got = v.query_piece(piece, near, far);
+      const auto expected = brute_piece_query(f.g, f.index, piece, near, far);
+      ASSERT_EQ(got.has_value(), expected.has_value());
+      if (got) {
+        EXPECT_EQ(got->v, expected->v);
+      }
+    }
+  }
+}
+
+TEST(PieceBasics, Constructors) {
+  const Piece s = Piece::subtree(7);
+  EXPECT_EQ(s.kind, PieceKind::kSubtree);
+  EXPECT_EQ(s.root, 7);
+  const Piece p = Piece::path(2, 9);
+  EXPECT_EQ(p.kind, PieceKind::kPath);
+  EXPECT_EQ(p.top, 2);
+  EXPECT_EQ(p.bottom, 9);
+}
+
+}  // namespace
+}  // namespace pardfs

@@ -1,0 +1,143 @@
+// CONGEST simulator substrate: BFS flooding, pipelined aggregation and
+// broadcast accounting on edge-case topologies (forests, stars, deep
+// trees), independent of the DFS layers above.
+#include "dist/congest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/random.hpp"
+
+namespace pardfs::dist {
+namespace {
+
+TEST(CongestBfs, StarHasHeightOne) {
+  Graph g = gen::star(50);
+  CongestSimulator sim(g, 4);
+  const BfsTree t = sim.build_bfs_tree(0);
+  EXPECT_EQ(t.height, 1);
+  EXPECT_EQ(t.num_nodes, 50);
+  for (Vertex v = 1; v < 50; ++v) EXPECT_EQ(t.parent[static_cast<std::size_t>(v)], 0);
+  EXPECT_EQ(sim.rounds(), 1u);
+}
+
+TEST(CongestBfs, LeafRootOfStar) {
+  Graph g = gen::star(10);
+  CongestSimulator sim(g, 4);
+  const BfsTree t = sim.build_bfs_tree(5);
+  EXPECT_EQ(t.height, 2);
+  EXPECT_EQ(t.parent[0], 5);
+}
+
+TEST(CongestBfs, SingletonComponent) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  CongestSimulator sim(g, 1);
+  const BfsTree t = sim.build_bfs_tree(2);
+  EXPECT_EQ(t.num_nodes, 1);
+  EXPECT_EQ(t.height, 0);
+  EXPECT_EQ(sim.rounds(), 0u) << "no flooding needed in a singleton";
+}
+
+TEST(CongestBfs, DepthsAreShortestPaths) {
+  Rng rng(13);
+  Graph g = gen::gnm(80, 200, rng);
+  CongestSimulator sim(g, 4);
+  Vertex root = kNullVertex;
+  for (Vertex v = 0; v < 80; ++v) {
+    if (g.degree(v) > 0) {
+      root = v;
+      break;
+    }
+  }
+  ASSERT_NE(root, kNullVertex);
+  const BfsTree t = sim.build_bfs_tree(root);
+  // BFS parent depth relation: depth(v) = depth(parent(v)) + 1, and no edge
+  // can shortcut more than one level.
+  for (Vertex v = 0; v < 80; ++v) {
+    const std::size_t sv = static_cast<std::size_t>(v);
+    if (t.depth[sv] < 0) continue;
+    if (t.parent[sv] != kNullVertex) {
+      EXPECT_EQ(t.depth[sv], t.depth[static_cast<std::size_t>(t.parent[sv])] + 1);
+    }
+    for (const Vertex w : g.neighbors(v)) {
+      EXPECT_LE(std::abs(t.depth[sv] - t.depth[static_cast<std::size_t>(w)]), 1)
+          << "edge (" << v << "," << w << ") shortcuts BFS levels";
+    }
+  }
+}
+
+TEST(CongestAggregate, MaxCombine) {
+  Graph g = gen::binary_tree(15);
+  CongestSimulator sim(g, 2);
+  const BfsTree t = sim.build_bfs_tree(0);
+  std::vector<std::vector<std::uint64_t>> contrib(15);
+  for (Vertex v = 0; v < 15; ++v) {
+    contrib[static_cast<std::size_t>(v)] = {static_cast<std::uint64_t>(v * 7 % 11)};
+  }
+  const auto combined = sim.aggregate(
+      t, contrib, [](std::size_t, std::uint64_t a, std::uint64_t b) {
+        return a > b ? a : b;
+      });
+  std::uint64_t expected = 0;
+  for (Vertex v = 0; v < 15; ++v) {
+    expected = std::max(expected, static_cast<std::uint64_t>(v * 7 % 11));
+  }
+  ASSERT_EQ(combined.size(), 1u);
+  EXPECT_EQ(combined[0], expected);
+}
+
+TEST(CongestAggregate, RaggedContributionsArePadded) {
+  Graph g = gen::path(4);
+  CongestSimulator sim(g, 4);
+  const BfsTree t = sim.build_bfs_tree(0);
+  std::vector<std::vector<std::uint64_t>> contrib(4);
+  contrib[0] = {1};
+  contrib[1] = {2, 10};
+  contrib[2] = {};
+  contrib[3] = {4, 20, 300};
+  const auto combined = sim.aggregate(
+      t, contrib, [](std::size_t, std::uint64_t a, std::uint64_t b) { return a + b; });
+  ASSERT_EQ(combined.size(), 3u);
+  EXPECT_EQ(combined[0], 7u);
+  EXPECT_EQ(combined[1], 30u);
+  EXPECT_EQ(combined[2], 300u);
+}
+
+TEST(CongestAggregate, ZeroWordsCostNothing) {
+  Graph g = gen::path(5);
+  CongestSimulator sim(g, 2);
+  const BfsTree t = sim.build_bfs_tree(0);
+  sim.reset_counters();
+  std::vector<std::vector<std::uint64_t>> contrib(5);
+  sim.aggregate(t, contrib,
+                [](std::size_t, std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(sim.rounds(), 0u);
+  EXPECT_EQ(sim.messages(), 0u);
+}
+
+TEST(CongestBroadcast, AccountingScalesWithChunks) {
+  Graph g = gen::path(8);  // height 7 from 0
+  CongestSimulator sim(g, 2);
+  const BfsTree t = sim.build_bfs_tree(0);
+  sim.reset_counters();
+  sim.broadcast(t, 6);  // 3 chunks of B=2
+  EXPECT_EQ(sim.rounds(), 7u + 3 - 1);
+  EXPECT_EQ(sim.messages(), 7u * 3);
+  sim.reset_counters();
+  sim.broadcast(t, 0);
+  EXPECT_EQ(sim.rounds(), 0u);
+}
+
+TEST(CongestBroadcast, SingletonTreeIsFree) {
+  Graph g(1);
+  CongestSimulator sim(g, 1);
+  const BfsTree t = sim.build_bfs_tree(0);
+  sim.reset_counters();
+  sim.broadcast(t, 100);
+  EXPECT_EQ(sim.rounds(), 0u);
+  EXPECT_EQ(sim.messages(), 0u);
+}
+
+}  // namespace
+}  // namespace pardfs::dist

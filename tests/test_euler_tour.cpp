@@ -1,0 +1,94 @@
+// The parallel Euler-tour construction (Theorem 4 substrate) must agree
+// exactly with the sequential TreeIndex tables.
+#include "tree/euler_tour.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/static_dfs.hpp"
+#include "graph/generators.hpp"
+#include "tree/tree_index.hpp"
+#include "util/random.hpp"
+
+namespace pardfs {
+namespace {
+
+void expect_matches_index(std::span<const Vertex> parent,
+                          std::span<const std::uint8_t> alive) {
+  TreeIndex index;
+  index.build(parent, alive);
+  const EulerTourResult r = euler_tour(parent, alive);
+  for (std::size_t v = 0; v < parent.size(); ++v) {
+    if (!alive.empty() && !alive[v]) {
+      EXPECT_EQ(r.size[v], 0);
+      continue;
+    }
+    const Vertex vv = static_cast<Vertex>(v);
+    EXPECT_EQ(r.depth[v], index.depth(vv)) << "depth of " << v;
+    EXPECT_EQ(r.size[v], index.size(vv)) << "size of " << v;
+    EXPECT_EQ(r.pre[v], index.pre(vv)) << "pre of " << v;
+    EXPECT_EQ(r.post[v], index.post(vv)) << "post of " << v;
+  }
+}
+
+TEST(EulerTour, SingleChain) {
+  std::vector<Vertex> parent = {kNullVertex, 0, 1, 2, 3};
+  expect_matches_index(parent, {});
+}
+
+TEST(EulerTour, Star) {
+  std::vector<Vertex> parent = {kNullVertex, 0, 0, 0, 0, 0};
+  expect_matches_index(parent, {});
+}
+
+TEST(EulerTour, SingletonTree) {
+  std::vector<Vertex> parent = {kNullVertex};
+  expect_matches_index(parent, {});
+}
+
+TEST(EulerTour, ForestWithSingletons) {
+  // Trees: {0}, {1,2,3}, {4}, {5,6}
+  std::vector<Vertex> parent = {kNullVertex, kNullVertex, 1,
+                                1,           kNullVertex, kNullVertex, 5};
+  expect_matches_index(parent, {});
+}
+
+TEST(EulerTour, DeadVerticesSkipped) {
+  std::vector<Vertex> parent = {kNullVertex, 0, kNullVertex, 0};
+  std::vector<std::uint8_t> alive = {1, 1, 0, 1};
+  expect_matches_index(parent, alive);
+}
+
+TEST(EulerTour, RandomTreesMatchSequential) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vertex n = static_cast<Vertex>(2 + rng.below(500));
+    Graph g = gen::random_connected(n, 0, rng);
+    const auto parent = static_dfs(g);
+    expect_matches_index(parent, {});
+  }
+}
+
+TEST(EulerTour, RandomForestsMatchSequential) {
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vertex n = static_cast<Vertex>(10 + rng.below(300));
+    Graph g = gen::gnp(n, 2.0 / n, rng);  // sparse: many components
+    const auto parent = static_dfs(g);
+    expect_matches_index(parent, {});
+  }
+}
+
+TEST(EulerTour, DeepPathStressesListRanking) {
+  const Vertex n = 20000;
+  std::vector<Vertex> parent(static_cast<std::size_t>(n));
+  parent[0] = kNullVertex;
+  for (Vertex v = 1; v < n; ++v) parent[static_cast<std::size_t>(v)] = v - 1;
+  const EulerTourResult r = euler_tour(parent, {});
+  EXPECT_EQ(r.depth[static_cast<std::size_t>(n - 1)], n - 1);
+  EXPECT_EQ(r.size[0], n);
+  EXPECT_EQ(r.post[0], n - 1);
+  EXPECT_EQ(r.pre[static_cast<std::size_t>(n - 1)], n - 1);
+}
+
+}  // namespace
+}  // namespace pardfs

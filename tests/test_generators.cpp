@@ -1,0 +1,110 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/static_dfs.hpp"
+#include "tree/validation.hpp"
+
+namespace pardfs::gen {
+namespace {
+
+TEST(Generators, PathShape) {
+  Graph g = path(10);
+  EXPECT_EQ(g.num_edges(), 9);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(5), 2);
+}
+
+TEST(Generators, CycleShape) {
+  Graph g = cycle(10);
+  EXPECT_EQ(g.num_edges(), 10);
+  for (Vertex v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 2);
+}
+
+TEST(Generators, StarShape) {
+  Graph g = star(10);
+  EXPECT_EQ(g.num_edges(), 9);
+  EXPECT_EQ(g.degree(0), 9);
+}
+
+TEST(Generators, CliqueShape) {
+  Graph g = clique(8);
+  EXPECT_EQ(g.num_edges(), 28);
+}
+
+TEST(Generators, BroomShape) {
+  Graph g = broom(20, 5);
+  EXPECT_EQ(g.num_edges(), 19);
+  EXPECT_EQ(g.degree(4), 16) << "broom head: 1 handle edge + 15 bristles";
+}
+
+TEST(Generators, BinaryTreeShape) {
+  Graph g = binary_tree(15);
+  EXPECT_EQ(g.num_edges(), 14);
+  EXPECT_EQ(g.degree(0), 2);
+}
+
+TEST(Generators, GridShape) {
+  Graph g = grid(4, 6);
+  EXPECT_EQ(g.num_vertices(), 24);
+  EXPECT_EQ(g.num_edges(), 4 * 5 + 3 * 6);
+}
+
+TEST(Generators, HairyPathShape) {
+  Graph g = hairy_path(5, 3);
+  EXPECT_EQ(g.num_vertices(), 20);
+  EXPECT_EQ(g.num_edges(), 19);
+}
+
+TEST(Generators, GnmExactEdgeCount) {
+  Rng rng(3);
+  Graph g = gnm(50, 300, rng);
+  EXPECT_EQ(g.num_edges(), 300);
+}
+
+TEST(Generators, GnpRoughDensity) {
+  Rng rng(4);
+  Graph g = gnp(400, 0.05, rng);
+  const double expected = 0.05 * 400 * 399 / 2;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.25);
+}
+
+TEST(Generators, RandomConnectedIsConnected) {
+  Rng rng(5);
+  Graph g = random_connected(200, 100, rng);
+  const auto parent = static_dfs(g);
+  int roots = 0;
+  for (Vertex v = 0; v < 200; ++v) {
+    if (parent[static_cast<std::size_t>(v)] == kNullVertex) ++roots;
+  }
+  EXPECT_EQ(roots, 1);
+}
+
+TEST(Generators, RandomUpdatesAreFeasible) {
+  Rng rng(6);
+  Graph g = random_connected(50, 50, rng);
+  for (int i = 0; i < 500; ++i) {
+    Update u;
+    ASSERT_TRUE(random_update(g, rng, 1, 1, 0.3, 0.3, u)) << "step " << i;
+    apply_update(g, u);
+    ASSERT_GE(g.num_vertices(), 1);
+  }
+  // The mix must keep the graph usable; a DFS must still validate.
+  const auto parent = static_dfs(g);
+  EXPECT_TRUE(validate_dfs_forest(g, parent).ok);
+}
+
+TEST(Generators, RandomUpdateRespectsZeroWeights) {
+  Rng rng(7);
+  Graph g = path(10);
+  for (int i = 0; i < 100; ++i) {
+    Update u;
+    ASSERT_TRUE(random_update(g, rng, 0, 1, 0, 0, u));
+    EXPECT_EQ(u.kind, UpdateKind::kDeleteEdge);
+    apply_update(g, u);
+    if (g.num_edges() == 0) break;
+  }
+}
+
+}  // namespace
+}  // namespace pardfs::gen

@@ -1,0 +1,93 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace pardfs {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.capacity(), 0);
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(Graph, AddAndRemoveEdges) {
+  Graph g(4);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_TRUE(g.add_edge(1, 2));
+  EXPECT_FALSE(g.add_edge(0, 1)) << "duplicate edges must be rejected";
+  EXPECT_FALSE(g.add_edge(1, 0)) << "duplicates in either direction";
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.remove_edge(0, 1));
+  EXPECT_FALSE(g.remove_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(Graph, DegreeAndNeighbors) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  EXPECT_EQ(g.degree(0), 3);
+  EXPECT_EQ(g.degree(1), 1);
+  const auto nbrs = g.neighbors(0);
+  EXPECT_EQ(nbrs.size(), 3u);
+  EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), 2), nbrs.end());
+}
+
+TEST(Graph, VertexInsertionWithEdges) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const Vertex nbrs[] = {0, 2};
+  const Vertex v = g.add_vertex(nbrs);
+  EXPECT_EQ(v, 3);
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_TRUE(g.has_edge(3, 0));
+  EXPECT_TRUE(g.has_edge(3, 2));
+  EXPECT_EQ(g.num_edges(), 3);
+}
+
+TEST(Graph, VertexDeletionRemovesIncidentEdges) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  g.remove_vertex(1);
+  EXPECT_FALSE(g.is_alive(1));
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.degree(0), 0);
+}
+
+TEST(Graph, IdsAreNotRecycled) {
+  Graph g(2);
+  g.remove_vertex(1);
+  const Vertex v = g.add_vertex();
+  EXPECT_EQ(v, 2) << "deleted ids must stay dead";
+  EXPECT_FALSE(g.is_alive(1));
+  EXPECT_TRUE(g.is_alive(2));
+}
+
+TEST(Graph, EdgesListing) {
+  Graph g(4);
+  g.add_edge(2, 1);
+  g.add_edge(3, 0);
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  for (const Edge& e : edges) EXPECT_LT(e.u, e.v);
+}
+
+TEST(Graph, UndirectedKeyIsSymmetric) {
+  EXPECT_EQ(undirected_key(3, 7), undirected_key(7, 3));
+  EXPECT_NE(undirected_key(3, 7), undirected_key(3, 8));
+}
+
+}  // namespace
+}  // namespace pardfs

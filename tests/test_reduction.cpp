@@ -1,0 +1,151 @@
+// Unit tests for the reduction algorithm (§3): the produced reroot requests
+// and direct assignments, checked structurally.
+#include "core/reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/static_dfs.hpp"
+#include "core/adjacency_oracle.hpp"
+#include "graph/generators.hpp"
+#include "tree/tree_index.hpp"
+#include "util/random.hpp"
+
+namespace pardfs {
+namespace {
+
+struct ReductionFixture {
+  Graph g;
+  std::vector<Vertex> parent;
+  TreeIndex index;
+  AdjacencyOracle oracle;
+
+  explicit ReductionFixture(Graph graph) : g(std::move(graph)) {
+    parent = static_dfs(g);
+    index.build(parent);
+    oracle.build(g, index);
+  }
+  OracleView view() { return OracleView(&oracle, &index, true); }
+};
+
+TEST(Reduction, DeleteTreeEdgeWithReattachment) {
+  // Path 0-1-2-3 plus back edge (0,3); delete (1,2).
+  Graph g = gen::path(4);
+  g.add_edge(0, 3);
+  ReductionFixture f(std::move(g));
+  f.oracle.note_edge_deleted(1, 2);
+  const auto view = f.view();
+  const auto r = reduce_delete_tree_edge(f.index, view, 1, 2);
+  ASSERT_EQ(r.reroots.size(), 1u);
+  EXPECT_EQ(r.reroots[0].subtree_root, 2);
+  EXPECT_EQ(r.reroots[0].new_root, 3);
+  EXPECT_EQ(r.reroots[0].attach_parent, 0);
+  EXPECT_TRUE(r.direct.empty());
+}
+
+TEST(Reduction, DeleteTreeEdgeDetaches) {
+  ReductionFixture f(gen::path(4));
+  f.oracle.note_edge_deleted(1, 2);
+  const auto view = f.view();
+  const auto r = reduce_delete_tree_edge(f.index, view, 1, 2);
+  EXPECT_TRUE(r.reroots.empty());
+  ASSERT_EQ(r.direct.size(), 1u);
+  EXPECT_EQ(r.direct[0], (std::pair<Vertex, Vertex>{2, kNullVertex}));
+}
+
+TEST(Reduction, InsertEdgeSameTree) {
+  // Star: tree 0 -> {1,2,3,4}; insert (1,2).
+  ReductionFixture f(gen::star(5));
+  const auto r = reduce_insert_edge(f.index, 1, 2);
+  ASSERT_EQ(r.reroots.size(), 1u);
+  // Subtree containing 2 hanging off lca(1,2)=0 is {2} itself.
+  EXPECT_EQ(r.reroots[0].subtree_root, 2);
+  EXPECT_EQ(r.reroots[0].new_root, 2);
+  EXPECT_EQ(r.reroots[0].attach_parent, 1);
+}
+
+TEST(Reduction, InsertEdgeAcrossTreesRerootsSmaller) {
+  Graph g(7);
+  g.add_edge(0, 1);  // small tree {0,1}
+  g.add_edge(2, 3);  // big tree {2,3,4,5,6}
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 6);
+  ReductionFixture f(std::move(g));
+  const auto r = reduce_insert_edge(f.index, 4, 1);
+  ASSERT_EQ(r.reroots.size(), 1u);
+  EXPECT_EQ(r.reroots[0].subtree_root, f.index.root_of(1));
+  EXPECT_EQ(r.reroots[0].new_root, 1);
+  EXPECT_EQ(r.reroots[0].attach_parent, 4);
+}
+
+TEST(Reduction, DeleteVertexProducesIndependentReroots) {
+  // Star with back edges: 0 center; leaves 1..4; extra edges (1,2) via a
+  // path so subtrees can reattach... use cycle instead: delete vertex 0.
+  ReductionFixture f(gen::cycle(6));
+  const Vertex victim = f.index.roots()[0];
+  std::vector<Vertex> children(f.index.children(victim).begin(),
+                               f.index.children(victim).end());
+  std::vector<Vertex> nbrs(f.g.neighbors(victim).begin(), f.g.neighbors(victim).end());
+  f.oracle.note_vertex_deleted(victim, nbrs);
+  const auto view = f.view();
+  const auto r = reduce_delete_vertex(f.index, view, victim, children, kNullVertex);
+  // Root deletion: children detach directly.
+  EXPECT_EQ(r.reroots.size(), 0u);
+  EXPECT_EQ(r.direct.size(), children.size());
+}
+
+TEST(Reduction, InsertVertexDedupesSubtrees) {
+  // Path 0-1-2-3-4: tree is the path. New vertex adjacent to {2, 3, 4}:
+  // 3 and 4 are in the same hanging subtree relative to path(2, root).
+  ReductionFixture f(gen::path(5));
+  const Vertex v = 5;
+  const std::vector<Vertex> nbrs = {2, 3, 4};
+  const auto r = reduce_insert_vertex(f.index, v, nbrs);
+  ASSERT_EQ(r.direct.size(), 1u);
+  EXPECT_EQ(r.direct[0], (std::pair<Vertex, Vertex>{v, 2}));
+  ASSERT_EQ(r.reroots.size(), 1u) << "3 and 4 share the subtree T(3)";
+  EXPECT_EQ(r.reroots[0].subtree_root, 3);
+  EXPECT_EQ(r.reroots[0].new_root, 3);
+  EXPECT_EQ(r.reroots[0].attach_parent, v);
+}
+
+TEST(Reduction, InsertVertexSkipsAncestors) {
+  // Path tree: neighbors {3, 1} with 1 an ancestor of 3: the edge to 1 is a
+  // future back edge, no reroot.
+  ReductionFixture f(gen::path(5));
+  const std::vector<Vertex> nbrs = {3, 1};
+  const auto r = reduce_insert_vertex(f.index, 5, nbrs);
+  EXPECT_EQ(r.direct.size(), 1u);
+  EXPECT_TRUE(r.reroots.empty());
+}
+
+TEST(Reduction, InsertIsolatedVertex) {
+  ReductionFixture f(gen::path(3));
+  const auto r = reduce_insert_vertex(f.index, 3, {});
+  ASSERT_EQ(r.direct.size(), 1u);
+  EXPECT_EQ(r.direct[0], (std::pair<Vertex, Vertex>{3, kNullVertex}));
+}
+
+TEST(Reduction, RerootRequestsAreDisjoint) {
+  Rng rng(8);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph g = gen::random_connected(40, 80, rng);
+    ReductionFixture f(std::move(g));
+    // Insert a vertex with many neighbors: all requests must target
+    // disjoint subtrees.
+    std::vector<Vertex> nbrs;
+    for (Vertex v = 0; v < 40 && nbrs.size() < 6; v += 7) nbrs.push_back(v);
+    const auto r = reduce_insert_vertex(f.index, 40, nbrs);
+    for (std::size_t i = 0; i < r.reroots.size(); ++i) {
+      for (std::size_t j = i + 1; j < r.reroots.size(); ++j) {
+        const Vertex a = r.reroots[i].subtree_root;
+        const Vertex b = r.reroots[j].subtree_root;
+        EXPECT_FALSE(f.index.is_ancestor(a, b) || f.index.is_ancestor(b, a))
+            << "overlapping reroot targets " << a << " and " << b;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pardfs

@@ -1,0 +1,99 @@
+#include "baseline/static_dfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/ordered_dfs.hpp"
+#include "graph/generators.hpp"
+#include "tree/validation.hpp"
+#include "util/random.hpp"
+
+namespace pardfs {
+namespace {
+
+TEST(StaticDfs, PathGraph) {
+  Graph g = gen::path(5);
+  const auto parent = static_dfs(g);
+  EXPECT_EQ(parent[0], kNullVertex);
+  for (Vertex v = 1; v < 5; ++v) EXPECT_EQ(parent[static_cast<std::size_t>(v)], v - 1);
+}
+
+TEST(StaticDfs, DisconnectedComponentsGetOwnRoots) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const auto parent = static_dfs(g);
+  int roots = 0;
+  for (Vertex v = 0; v < 6; ++v) {
+    if (parent[static_cast<std::size_t>(v)] == kNullVertex) ++roots;
+  }
+  EXPECT_EQ(roots, 4) << "components {0,1},{2,3},{4},{5}";
+  EXPECT_TRUE(validate_dfs_forest(g, parent).ok);
+}
+
+TEST(StaticDfs, ValidOnManyFamilies) {
+  Rng rng(11);
+  const Vertex n = 300;
+  const std::vector<Graph> graphs = [&] {
+    std::vector<Graph> out;
+    out.push_back(gen::path(n));
+    out.push_back(gen::cycle(n));
+    out.push_back(gen::star(n));
+    out.push_back(gen::broom(n, n / 4));
+    out.push_back(gen::binary_tree(n));
+    out.push_back(gen::grid(15, 20));
+    out.push_back(gen::hairy_path(30, 9));
+    out.push_back(gen::clique(40));
+    out.push_back(gen::gnp(n, 0.02, rng));
+    out.push_back(gen::gnm(n, 900, rng));
+    out.push_back(gen::random_connected(n, 500, rng));
+    return out;
+  }();
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const auto parent = static_dfs(graphs[i]);
+    const auto result = validate_dfs_forest(graphs[i], parent);
+    EXPECT_TRUE(result.ok) << "family " << i << ": " << result.reason;
+  }
+}
+
+TEST(StaticDfs, FromSpecificRoots) {
+  Graph g = gen::path(6);
+  const Vertex roots[] = {3};
+  const auto parent = static_dfs_from(g, roots);
+  EXPECT_EQ(parent[3], kNullVertex);
+  // Both directions hang off 3.
+  EXPECT_TRUE(parent[2] == 3 || parent[4] == 3);
+  EXPECT_TRUE(validate_dfs_forest(g, parent).ok);
+}
+
+TEST(OrderedDfs, LexicographicOrder) {
+  // Star with center 2: ordered DFS from 0 goes 0 -> 2 -> then 1, 3 as
+  // children of 2 in increasing order.
+  Graph g(4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 1);
+  g.add_edge(2, 3);
+  const auto parent = ordered_dfs(g);
+  EXPECT_EQ(parent[0], kNullVertex);
+  EXPECT_EQ(parent[2], 0);
+  EXPECT_EQ(parent[1], 2);
+  EXPECT_EQ(parent[3], 2);
+}
+
+TEST(OrderedDfs, DeterministicAcrossAdjacencyOrder) {
+  // The same graph built in different edge orders yields the same tree.
+  Graph a(5), b(5);
+  a.add_edge(0, 1);
+  a.add_edge(0, 2);
+  a.add_edge(1, 3);
+  a.add_edge(2, 3);
+  a.add_edge(3, 4);
+  b.add_edge(3, 4);
+  b.add_edge(2, 3);
+  b.add_edge(1, 3);
+  b.add_edge(0, 2);
+  b.add_edge(0, 1);
+  EXPECT_EQ(ordered_dfs(a), ordered_dfs(b));
+}
+
+}  // namespace
+}  // namespace pardfs

@@ -1,0 +1,142 @@
+#include "tree/tree_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/static_dfs.hpp"
+#include "graph/generators.hpp"
+#include "util/random.hpp"
+
+namespace pardfs {
+namespace {
+
+// Fixed tree:
+//        0
+//       . .
+//      1   2
+//     .|   |
+//    3 4   5
+//      |
+//      6
+class SmallTree : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    parent_ = {kNullVertex, 0, 0, 1, 1, 2, 4};
+    index_.build(parent_);
+  }
+  std::vector<Vertex> parent_;
+  TreeIndex index_;
+};
+
+TEST_F(SmallTree, BasicProperties) {
+  EXPECT_EQ(index_.depth(0), 0);
+  EXPECT_EQ(index_.depth(6), 3);
+  EXPECT_EQ(index_.size(0), 7);
+  EXPECT_EQ(index_.size(1), 4);
+  EXPECT_EQ(index_.size(4), 2);
+  EXPECT_EQ(index_.size(5), 1);
+  EXPECT_EQ(index_.root_of(6), 0);
+}
+
+TEST_F(SmallTree, AncestorTests) {
+  EXPECT_TRUE(index_.is_ancestor(0, 6));
+  EXPECT_TRUE(index_.is_ancestor(1, 6));
+  EXPECT_TRUE(index_.is_ancestor(4, 4));
+  EXPECT_FALSE(index_.is_ancestor(2, 6));
+  EXPECT_FALSE(index_.is_ancestor(6, 4));
+}
+
+TEST_F(SmallTree, Lca) {
+  EXPECT_EQ(index_.lca(3, 6), 1);
+  EXPECT_EQ(index_.lca(5, 6), 0);
+  EXPECT_EQ(index_.lca(4, 6), 4);
+  EXPECT_EQ(index_.lca(2, 2), 2);
+}
+
+TEST_F(SmallTree, ChildToward) {
+  EXPECT_EQ(index_.child_toward(0, 6), 1);
+  EXPECT_EQ(index_.child_toward(1, 6), 4);
+  EXPECT_EQ(index_.child_toward(0, 5), 2);
+}
+
+TEST_F(SmallTree, PathOperations) {
+  EXPECT_EQ(index_.path_length(6, 0), 3);
+  EXPECT_EQ(index_.path_length(3, 6), 3);
+  const std::vector<Vertex> up = {6, 4, 1, 0};
+  EXPECT_EQ(index_.path_vertices(6, 0), up);
+  const std::vector<Vertex> down = {0, 1, 4, 6};
+  EXPECT_EQ(index_.path_vertices(0, 6), down);
+  const std::vector<Vertex> bent = {3, 1, 4, 6};
+  EXPECT_EQ(index_.tree_path(3, 6), bent);
+  EXPECT_TRUE(index_.on_path(4, 6, 0));
+  EXPECT_FALSE(index_.on_path(2, 6, 0));
+}
+
+TEST_F(SmallTree, BackEdgeTest) {
+  EXPECT_TRUE(index_.is_back_edge(6, 0));
+  EXPECT_TRUE(index_.is_back_edge(1, 3));
+  EXPECT_FALSE(index_.is_back_edge(3, 6));
+  EXPECT_FALSE(index_.is_back_edge(5, 6));
+}
+
+TEST_F(SmallTree, SubtreeEnumeration) {
+  const auto sub = index_.subtree_vertices(1);
+  EXPECT_EQ(sub.size(), 4u);
+  EXPECT_EQ(sub.front(), 1);
+  const auto span = index_.subtree_span(1);
+  EXPECT_TRUE(std::equal(sub.begin(), sub.end(), span.begin(), span.end()));
+}
+
+TEST(TreeIndexForest, MultipleTreesAndDeadVertices) {
+  // Two trees {0,1,2} and {3,4}; vertex 5 dead.
+  std::vector<Vertex> parent = {kNullVertex, 0, 1, kNullVertex, 3, kNullVertex};
+  std::vector<std::uint8_t> alive = {1, 1, 1, 1, 1, 0};
+  TreeIndex index;
+  index.build(parent, alive);
+  EXPECT_EQ(index.roots().size(), 2u);
+  EXPECT_EQ(index.root_of(2), 0);
+  EXPECT_EQ(index.root_of(4), 3);
+  EXPECT_EQ(index.lca(2, 4), kNullVertex) << "different trees have no LCA";
+  EXPECT_FALSE(index.in_forest(5));
+  EXPECT_EQ(index.size(5), 0);
+  EXPECT_EQ(index.num_indexed(), 5);
+}
+
+TEST(TreeIndexForest, PostOrderPropertiesRandom) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = gen::random_connected(200, 300, rng);
+    const auto parent = static_dfs(g);
+    TreeIndex index;
+    index.build(parent);
+    // Post-order: every vertex's post is larger than all descendants'.
+    for (Vertex v = 0; v < g.capacity(); ++v) {
+      const Vertex p = parent[static_cast<std::size_t>(v)];
+      if (p == kNullVertex) continue;
+      EXPECT_LT(index.post(v), index.post(p));
+      EXPECT_GT(index.pre(v), index.pre(p));
+      EXPECT_EQ(index.depth(v), index.depth(p) + 1);
+    }
+    // Sizes are consistent.
+    for (Vertex v = 0; v < g.capacity(); ++v) {
+      std::int32_t child_sum = 1;
+      for (const Vertex c : index.children(v)) child_sum += index.size(c);
+      EXPECT_EQ(index.size(v), child_sum);
+    }
+    // LCA agrees with a naive walk.
+    for (int q = 0; q < 100; ++q) {
+      const Vertex a = static_cast<Vertex>(rng.below(200));
+      const Vertex b = static_cast<Vertex>(rng.below(200));
+      Vertex x = a, y = b;
+      while (index.depth(x) > index.depth(y)) x = parent[static_cast<std::size_t>(x)];
+      while (index.depth(y) > index.depth(x)) y = parent[static_cast<std::size_t>(y)];
+      while (x != y) {
+        x = parent[static_cast<std::size_t>(x)];
+        y = parent[static_cast<std::size_t>(y)];
+      }
+      EXPECT_EQ(index.lca(a, b), x);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pardfs

@@ -1,0 +1,91 @@
+#include "tree/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/ordered_dfs.hpp"
+#include "baseline/static_dfs.hpp"
+#include "graph/generators.hpp"
+#include "util/random.hpp"
+
+namespace pardfs {
+namespace {
+
+TEST(Validation, AcceptsStaticDfs) {
+  Rng rng(5);
+  Graph g = gen::random_connected(100, 150, rng);
+  const auto parent = static_dfs(g);
+  const auto result = validate_dfs_forest(g, parent);
+  EXPECT_TRUE(result.ok) << result.reason;
+}
+
+TEST(Validation, AcceptsOrderedDfs) {
+  Rng rng(6);
+  Graph g = gen::gnm(80, 200, rng);
+  const auto parent = ordered_dfs(g);
+  const auto result = validate_dfs_forest(g, parent);
+  EXPECT_TRUE(result.ok) << result.reason;
+}
+
+TEST(Validation, RejectsCrossEdge) {
+  // Path 0-1-2 plus edge 0-3, tree shaped as two branches from 0 with the
+  // non-tree edge 2-3 as a cross edge.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 3);
+  g.add_edge(2, 3);
+  std::vector<Vertex> parent = {kNullVertex, 0, 1, 0};
+  const auto result = validate_dfs_forest(g, parent);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.reason.find("cross edge"), std::string::npos) << result.reason;
+}
+
+TEST(Validation, RejectsNonSpanningForest) {
+  // Connected graph split into two trees.
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  std::vector<Vertex> parent = {kNullVertex, 0, kNullVertex};
+  const auto result = validate_dfs_forest(g, parent);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Validation, RejectsTreeEdgeNotInGraph) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  std::vector<Vertex> parent = {kNullVertex, 0, 1};  // (1,2) is not an edge
+  const auto result = validate_dfs_forest(g, parent);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Validation, RejectsCycle) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  std::vector<Vertex> parent = {2, 0, 1};
+  const auto result = validate_dfs_forest(g, parent);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Validation, AcceptsForestsWithDeadVertices) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.remove_vertex(2);
+  std::vector<Vertex> parent = {kNullVertex, 0, kNullVertex, kNullVertex};
+  const auto result = validate_dfs_forest(g, parent);
+  EXPECT_TRUE(result.ok) << result.reason;
+}
+
+TEST(Validation, RejectsDeadParent) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.remove_vertex(2);
+  std::vector<Vertex> parent = {kNullVertex, 0, 0};  // dead vertex has a parent
+  const auto result = validate_dfs_forest(g, parent);
+  EXPECT_FALSE(result.ok);
+}
+
+}  // namespace
+}  // namespace pardfs
