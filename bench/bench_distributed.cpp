@@ -63,7 +63,6 @@ BENCHMARK(BM_DistributedUpdate)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)
 
 // Message-size trade-off: shrinking B below n/D inflates rounds linearly.
 void BM_DistributedMessageSize(benchmark::State& state) {
-  const Vertex n = 512;
   const std::int32_t b = static_cast<std::int32_t>(state.range(0));
   Graph g = gen::grid(16, 32);
   const auto updates = benchutil::make_update_stream(g, 16, 4243, 1, 1, 0, 0);
@@ -80,7 +79,6 @@ void BM_DistributedMessageSize(benchmark::State& state) {
     rounds += dd.last_cost().rounds;
     ++applied;
   }
-  (void)n;
   state.counters["rounds/update"] =
       benchmark::Counter(static_cast<double>(rounds) / applied);
   state.counters["B_words"] = benchmark::Counter(b);

@@ -1,0 +1,32 @@
+// BFS spanning tree of one network component, the communication substrate
+// of the CONGEST algorithms (paper §7, Theorem 16): convergecasts and
+// broadcasts are pipelined along this tree, so every cost formula is stated
+// in terms of its height and edge count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge.hpp"
+
+namespace pardfs::dist {
+
+struct BfsTree {
+  Vertex root = kNullVertex;
+  // Vertices reached from `root` (the root's component).
+  Vertex num_nodes = 0;
+  // Eccentricity of the root within its component; 0 for a singleton.
+  std::int32_t height = 0;
+  // parent[v] == kNullVertex for the root and for vertices outside the
+  // component; depth[v] == -1 outside the component.
+  std::vector<Vertex> parent;
+  std::vector<std::int32_t> depth;
+
+  std::int64_t tree_edges() const { return num_nodes > 0 ? num_nodes - 1 : 0; }
+  bool contains(Vertex v) const {
+    return v >= 0 && static_cast<std::size_t>(v) < depth.size() &&
+           depth[static_cast<std::size_t>(v)] >= 0;
+  }
+};
+
+}  // namespace pardfs::dist

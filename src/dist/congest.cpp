@@ -1,0 +1,58 @@
+#include "dist/congest.hpp"
+
+#include <vector>
+
+namespace pardfs::dist {
+
+BfsTree CongestSimulator::build_bfs_tree(Vertex root) {
+  BfsTree t;
+  t.root = root;
+  const std::size_t cap = static_cast<std::size_t>(g_.capacity());
+  t.parent.assign(cap, kNullVertex);
+  t.depth.assign(cap, -1);
+  if (!g_.is_alive(root)) return t;
+
+  t.depth[static_cast<std::size_t>(root)] = 0;
+  t.num_nodes = 1;
+  std::vector<Vertex> frontier{root};
+  std::int32_t level = 0;
+  while (!frontier.empty()) {
+    std::vector<Vertex> next;
+    std::uint64_t sent = 0;
+    for (const Vertex v : frontier) {
+      sent += static_cast<std::uint64_t>(g_.degree(v));
+      for (const Vertex w : g_.neighbors(v)) {
+        const auto sw = static_cast<std::size_t>(w);
+        if (t.depth[sw] >= 0) continue;
+        t.depth[sw] = level + 1;
+        t.parent[sw] = v;
+        next.push_back(w);
+        ++t.num_nodes;
+      }
+    }
+    if (next.empty()) break;  // the last level has nobody left to discover
+    rounds_ += 1;
+    messages_ += sent;
+    t.height = ++level;
+    frontier = std::move(next);
+  }
+  return t;
+}
+
+void CongestSimulator::broadcast(const BfsTree& tree, std::int64_t words) {
+  charge_pipeline(tree, words, /*directions=*/1);
+}
+
+void CongestSimulator::charge_pipeline(const BfsTree& tree, std::int64_t words,
+                                       int directions) {
+  if (words <= 0 || tree.height <= 0) return;
+  const std::uint64_t chunks =
+      static_cast<std::uint64_t>((words + b_ - 1) / b_);
+  const auto height = static_cast<std::uint64_t>(tree.height);
+  const auto edges = static_cast<std::uint64_t>(tree.tree_edges());
+  const auto dirs = static_cast<std::uint64_t>(directions);
+  rounds_ += dirs * (height + chunks - 1);
+  messages_ += dirs * edges * chunks;
+}
+
+}  // namespace pardfs::dist

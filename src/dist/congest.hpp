@@ -1,0 +1,97 @@
+// Synchronous CONGEST(B) simulator (paper §7).
+//
+// The network is the graph itself: one processor per vertex, one link per
+// edge, and in every synchronous round a link carries at most B machine
+// words in each direction. The simulator executes the three primitives the
+// distributed DFS algorithm is built from and charges their exact round and
+// message complexity; computation at a vertex is free (as in the model).
+//
+//   * build_bfs_tree — flood from a root. One round per BFS level; in a
+//     round every vertex of the current level sends to all its neighbors,
+//     so the flood costs height(T) rounds and sum(deg(v)) messages over the
+//     non-leaf levels (2m per component in the worst case — the "+m" term
+//     of Theorem 16's message bound).
+//   * broadcast — send k words from the root down the tree, pipelined in
+//     chunks of B words: height + ceil(k/B) - 1 rounds, one message per
+//     tree edge per chunk.
+//   * aggregate — combine per-vertex word vectors up the tree (convergecast)
+//     and return the result to everyone (broadcast); each direction costs
+//     one pipelined pass, hence the factor 2 in its accounting.
+//
+// Word vectors are combined per word index; vertices whose contribution is
+// shorter than the longest one simply do not participate in the missing
+// words (ragged contributions are padded with "absent", not with zeros).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dist/bfs_tree.hpp"
+#include "graph/graph.hpp"
+
+namespace pardfs::dist {
+
+class CongestSimulator {
+ public:
+  // `message_words` is B, the per-link per-round bandwidth in words.
+  CongestSimulator(const Graph& g, std::int32_t message_words)
+      : g_(g), b_(message_words > 0 ? message_words : 1) {}
+
+  const Graph& graph() const { return g_; }
+  std::int32_t message_words() const { return b_; }
+
+  // Floods from `root` and returns the BFS tree of its component.
+  BfsTree build_bfs_tree(Vertex root);
+
+  // Pipelined root-to-all broadcast of `words` words. Free on a singleton
+  // tree or for zero words.
+  void broadcast(const BfsTree& tree, std::int64_t words);
+
+  // Convergecast + broadcast-back of per-vertex contributions. contrib[v]
+  // is the word vector of vertex v (vertices outside the tree, or beyond
+  // contrib.size(), contribute nothing). combine(word_index, a, b) must be
+  // associative and commutative per word index.
+  template <typename Combine>
+  std::vector<std::uint64_t> aggregate(
+      const BfsTree& tree, const std::vector<std::vector<std::uint64_t>>& contrib,
+      Combine&& combine) {
+    std::size_t width = 0;
+    const std::size_t n = std::min(contrib.size(), tree.depth.size());
+    for (std::size_t v = 0; v < n; ++v) {
+      if (tree.depth[v] >= 0) width = std::max(width, contrib[v].size());
+    }
+    std::vector<std::uint64_t> out(width);
+    std::vector<bool> seen(width, false);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (tree.depth[v] < 0) continue;
+      const auto& words = contrib[v];
+      for (std::size_t i = 0; i < words.size(); ++i) {
+        out[i] = seen[i] ? combine(i, out[i], words[i]) : words[i];
+        seen[i] = true;
+      }
+    }
+    charge_pipeline(tree, static_cast<std::int64_t>(width), /*directions=*/2);
+    return out;
+  }
+
+  std::uint64_t rounds() const { return rounds_; }
+  std::uint64_t messages() const { return messages_; }
+  void reset_counters() {
+    rounds_ = 0;
+    messages_ = 0;
+  }
+
+ private:
+  // One pipelined pass (or two, for convergecast + broadcast-back) of
+  // `words` words along the tree: height + ceil(words/B) - 1 rounds and
+  // tree_edges * ceil(words/B) messages per direction.
+  void charge_pipeline(const BfsTree& tree, std::int64_t words, int directions);
+
+  const Graph& g_;
+  std::int32_t b_ = 1;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace pardfs::dist

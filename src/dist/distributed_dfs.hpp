@@ -1,0 +1,76 @@
+// Distributed fully dynamic DFS in the CONGEST model (paper §7, Theorem 16).
+//
+// The graph IS the network: after every update the new DFS forest is
+// recomputed by the network itself. The leader (the tree root of the
+// affected component) rebuilds a BFS spanning tree (D rounds, O(m)
+// messages), announces the update, and then drives the §3 reduction + §4
+// rerooting; every set of independent queries on D becomes one pipelined
+// convergecast + broadcast over the BFS tree (2·(D + ceil(n/B) - 1) rounds
+// each). With the auto message size B = n/2D this gives O(D) rounds per
+// query set and O(D·log^2 n) rounds per update — Theorem 16's bound — and
+// O(nD·log^2 n + m) messages.
+//
+// The forest itself is maintained by the shared-memory engine (DynamicDfs);
+// the simulator charges what a faithful CONGEST execution of the same query
+// schedule would cost. answer_queries_distributed() demonstrates the other
+// half for real: one set of independent D queries evaluated purely from
+// per-vertex local knowledge plus one aggregate over the BFS tree.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/dynamic_dfs.hpp"
+#include "dist/bfs_tree.hpp"
+#include "dist/congest.hpp"
+#include "graph/graph.hpp"
+#include "stream/edge_stream.hpp"
+#include "tree/tree_index.hpp"
+
+namespace pardfs::dist {
+
+// CONGEST cost of one update.
+struct UpdateCost {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t query_sets = 0;  // sets of independent D queries (Thm 3)
+  std::int32_t bfs_height = 0;   // height of the BFS tree used = D estimate
+};
+
+// Answers one set of independent queries distributively: every source
+// vertex computes its best incident candidate from local knowledge (its own
+// adjacency list plus the O(1)-word query descriptor), and one aggregate
+// over `tree` combines the candidates with the oracle's (target post,
+// source id) tie-breaking. Results match AdjacencyOracle::query_sources on
+// the same index.
+std::vector<std::optional<Edge>> answer_queries_distributed(
+    CongestSimulator& sim, const BfsTree& tree, const Graph& g,
+    const TreeIndex& index, std::span<const stream::StreamQuery> queries);
+
+class DistributedDfs {
+ public:
+  // message_words <= 0 selects the paper's B = max(1, n / 2D) with D
+  // estimated as the BFS height from the lowest-id alive vertex.
+  explicit DistributedDfs(Graph g, std::int32_t message_words = 0);
+
+  void apply(const GraphUpdate& update);
+
+  const Graph& graph() const { return dfs_.graph(); }
+  std::span<const Vertex> parent() const { return dfs_.parent(); }
+  std::int32_t message_words() const { return b_; }
+
+  const UpdateCost& last_cost() const { return last_; }
+  std::uint64_t total_rounds() const { return total_rounds_; }
+  std::uint64_t total_messages() const { return total_messages_; }
+
+ private:
+  DynamicDfs dfs_;
+  std::int32_t b_ = 1;
+  UpdateCost last_;
+  std::uint64_t total_rounds_ = 0;
+  std::uint64_t total_messages_ = 0;
+};
+
+}  // namespace pardfs::dist

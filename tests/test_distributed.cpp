@@ -101,6 +101,8 @@ TEST(DistributedQueries, MatchOracle) {
       ASSERT_EQ(got[i].has_value(), expected[i].has_value()) << "query " << i;
       if (got[i]) {
         EXPECT_EQ(index.post(got[i]->v), index.post(expected[i]->v)) << "query " << i;
+        // Same (target post, source id) tie-breaking as the oracle.
+        EXPECT_EQ(got[i]->u, expected[i]->u) << "query " << i;
       }
     }
   }
@@ -157,6 +159,20 @@ TEST(DistributedDfs, RoundsScaleWithDiameterTimesPolylog) {
   // Both valid.
   EXPECT_TRUE(validate_dfs_forest(dd_grid.graph(), dd_grid.parent()).ok);
   EXPECT_TRUE(validate_dfs_forest(dd_path.graph(), dd_path.parent()).ok);
+}
+
+TEST(DistributedDfs, AutoMessageSizeUsesDominantComponent) {
+  // Isolated vertex 0 next to a 100-vertex path: B must come from the
+  // dominant component (n=100, D=99 -> B=1), not from the lowest-id
+  // singleton (which would give the degenerate B = n/2).
+  Graph g(101);
+  for (Vertex v = 1; v < 100; ++v) g.add_edge(v, v + 1);
+  DistributedDfs dd(std::move(g));
+  EXPECT_EQ(dd.message_words(), 1);
+  Graph h(101);
+  for (Vertex v = 2; v <= 100; ++v) h.add_edge(1, v);  // star on 1..100
+  DistributedDfs dd2(std::move(h));
+  EXPECT_EQ(dd2.message_words(), 50);
 }
 
 TEST(DistributedDfs, AutoMessageSizeIsNOverD) {
