@@ -95,4 +95,43 @@ void BM_DynamicUpdateByKind(benchmark::State& state) {
 }
 BENCHMARK(BM_DynamicUpdateByKind)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
 
+// Back-edge churn at fixed n and growing m: a back-edge insert/delete leaves
+// the forest untouched and must cost O(1) patch work — flat in m — instead
+// of the pre-epoch O(m log n) rebuild.
+void BM_BackEdgeChurn(benchmark::State& state) {
+  const Vertex n = 1 << 12;
+  const std::int64_t m = state.range(0) * static_cast<std::int64_t>(n);
+  Rng rng(23);
+  Graph g = gen::random_connected(n, m, rng);
+  DynamicDfs dfs(g);
+  // Any non-tree edge of an undirected DFS forest is a back edge.
+  Vertex u = kNullVertex, v = kNullVertex;
+  for (const Edge& e : dfs.graph().edges()) {
+    if (dfs.parent_of(e.u) != e.v && dfs.parent_of(e.v) != e.u) {
+      u = e.u;
+      v = e.v;
+      break;
+    }
+  }
+  if (u == kNullVertex) {
+    state.SkipWithError("no back edge found");
+    return;
+  }
+  const std::size_t rebuilds = dfs.epoch_rebuilds();
+  bool present = true;
+  for (auto _ : state) {
+    if (present) {
+      dfs.delete_edge(u, v);
+    } else {
+      dfs.insert_edge(u, v);
+    }
+    present = !present;
+  }
+  state.counters["m"] = benchmark::Counter(static_cast<double>(m));
+  state.counters["rebuilds"] =
+      benchmark::Counter(static_cast<double>(dfs.epoch_rebuilds() - rebuilds));
+}
+BENCHMARK(BM_BackEdgeChurn)->RangeMultiplier(2)->Range(2, 16)
+    ->Unit(benchmark::kMicrosecond);
+
 }  // namespace

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Build (Release) and run the perf-trajectory benchmarks, emitting
+# machine-readable results next to the repo root:
+#   BENCH_update.json      — E1, per-update cost (bench_update)
+#   BENCH_preprocess.json  — E2a, D + tree-index build (bench_preprocess)
+#
+# Usage: bench/run_bench.sh [build-dir] [min-time-seconds]
+#   build-dir defaults to <repo>/build-bench; min-time to 0.1 (raise for
+#   stable numbers, lower for a CI smoke run).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-bench}"
+MIN_TIME="${2:-0.1}"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
+  -DPARDFS_BUILD_BENCH=ON -DPARDFS_BUILD_TESTS=OFF -DPARDFS_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD" -j "$(nproc)"
+
+"$BUILD/bench/bench_update" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_out_format=json --benchmark_out="$ROOT/BENCH_update.json"
+"$BUILD/bench/bench_preprocess" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_out_format=json --benchmark_out="$ROOT/BENCH_preprocess.json"
+
+echo "wrote $ROOT/BENCH_update.json and $ROOT/BENCH_preprocess.json"

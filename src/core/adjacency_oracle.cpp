@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "pram/parallel.hpp"
+#include "pram/scan.hpp"
 #include "util/check.hpp"
 
 namespace pardfs {
@@ -16,27 +17,42 @@ void AdjacencyOracle::build(const Graph& g, const TreeIndex& base,
                    "base tree index must cover the graph");
   const std::size_t n = static_cast<std::size_t>(g.capacity());
   built_capacity_ = n;
-  sorted_.assign(n, {});
   extras_.assign(n, {});
   dead_.assign(n, 0);
   deleted_edges_.clear();
   patch_count_ = 0;
 
-  std::uint64_t total_work = 0;
+  // CSR build: parallel degree count, exclusive scan for bucket offsets,
+  // then each bucket is filled and sorted independently. The scan total is
+  // 2m, so the old serial total_work accumulation loop folds into it.
+  std::vector<std::uint32_t> counts(n, 0);
+  pram::parallel_for_t(0, n, [&](std::size_t sv) {
+    const Vertex v = static_cast<Vertex>(sv);
+    counts[sv] = g.is_alive(v) ? static_cast<std::uint32_t>(g.degree(v)) : 0;
+  });
+  sorted_offsets_.resize(n + 1);
+  const std::uint64_t total_work =
+      pram::exclusive_scan(counts, std::span(sorted_offsets_).first(n));
+  PARDFS_CHECK_MSG(total_work <= UINT32_MAX,
+                   "CSR offsets are 32-bit: graph exceeds 2^31 edges");
+  sorted_offsets_[n] = static_cast<std::uint32_t>(total_work);
+  sorted_data_.resize(total_work);
   pram::parallel_for_t(0, n, [&](std::size_t sv) {
     const Vertex v = static_cast<Vertex>(sv);
     if (!g.is_alive(v)) return;
     const auto nbrs = g.neighbors(v);
-    auto& list = sorted_[sv];
-    list.assign(nbrs.begin(), nbrs.end());
-    std::sort(list.begin(), list.end(), [&](Vertex a, Vertex b) {
+    Vertex* bucket = sorted_data_.data() + sorted_offsets_[sv];
+    std::copy(nbrs.begin(), nbrs.end(), bucket);
+    std::sort(bucket, bucket + nbrs.size(), [&](Vertex a, Vertex b) {
       return base.post(a) < base.post(b);
     });
   });
-  for (std::size_t sv = 0; sv < n; ++sv) total_work += sorted_[sv].size();
   if (cost_ != nullptr) {
-    // One parallel sort round (Theorem 7/8): O(log n) depth, O(m log n) work.
     const std::uint64_t logn = n > 1 ? 64 - __builtin_clzll(n - 1) : 1;
+    // CSR counting + scan: O(log n) depth, O(n + m) work (Theorem 4-style
+    // processor allocation), then one parallel sort round (Theorem 7/8):
+    // O(log n) depth, O(m log n) work.
+    cost_->add_round(logn, static_cast<std::uint64_t>(n) + total_work);
     cost_->add_round(logn, total_work * logn);
   }
 }
@@ -46,7 +62,6 @@ void AdjacencyOracle::clear_patches() {
   if (extras_.size() > n) {
     extras_.resize(n);
     dead_.resize(n);
-    sorted_.resize(n);
   }
   for (auto& ex : extras_) ex.clear();
   std::fill(dead_.begin(), dead_.end(), 0);
@@ -59,7 +74,8 @@ void AdjacencyOracle::ensure_patch_capacity(Vertex v) {
   if (extras_.size() < need) {
     extras_.resize(need);
     dead_.resize(need, 0);
-    if (sorted_.size() < need) sorted_.resize(need);
+    // The sorted CSR stays frozen at built_capacity_; vertices beyond it
+    // have no base neighbors (base_neighbors returns an empty span).
   }
 }
 
@@ -68,11 +84,17 @@ void AdjacencyOracle::note_edge_inserted(Vertex u, Vertex v) {
   const std::uint64_t key = undirected_key(u, v);
   if (deleted_edges_.erase(key) > 0) {
     // Re-insertion of a base edge: the sorted lists still hold it.
-    const bool u_is_base_edge =
-        is_base_vertex(u) && is_base_vertex(v) &&
-        std::any_of(sorted_[static_cast<std::size_t>(u)].begin(),
-                    sorted_[static_cast<std::size_t>(u)].end(),
-                    [v](Vertex z) { return z == v; });
+    // The base list is sorted by post order and posts are unique, so the
+    // membership test is one binary search — keeps the patch O(log deg)
+    // even on delete/re-insert churn at high-degree vertices.
+    bool u_is_base_edge = false;
+    if (is_base_vertex(u) && is_base_vertex(v)) {
+      const auto base_u = base_neighbors(u);
+      auto post_less = [this](Vertex z, std::int32_t p) { return base_->post(z) < p; };
+      const auto it =
+          std::lower_bound(base_u.begin(), base_u.end(), base_->post(v), post_less);
+      u_is_base_edge = it != base_u.end() && *it == v;
+    }
     if (u_is_base_edge) {
       ++patch_count_;
       return;
@@ -140,7 +162,7 @@ AdjacencyOracle::Candidate AdjacencyOracle::probe_up(Vertex u, PathSeg seg,
   PARDFS_DCHECK(l != kNullVertex);
   const std::int32_t lo = base_->post(l);
   const std::int32_t hi = base_->post(seg.top);
-  const auto& list = sorted_[static_cast<std::size_t>(u)];
+  const auto list = base_neighbors(u);
   auto post_less = [this](Vertex z, std::int32_t p) { return base_->post(z) < p; };
   const auto begin =
       std::lower_bound(list.begin(), list.end(), lo, post_less);
@@ -175,7 +197,7 @@ AdjacencyOracle::Candidate AdjacencyOracle::probe_down(Vertex u, PathSeg seg,
   if (!base_->is_ancestor(u, seg.top) || u == seg.top) return result;
   const std::int32_t lo = base_->post(seg.bottom);
   const std::int32_t hi = base_->post(seg.top);
-  const auto& list = sorted_[static_cast<std::size_t>(u)];
+  const auto list = base_neighbors(u);
   auto post_less = [this](Vertex z, std::int32_t p) { return base_->post(z) < p; };
   const auto begin = std::lower_bound(list.begin(), list.end(), lo, post_less);
   const auto finish = std::lower_bound(list.begin(), list.end(), hi + 1, post_less);

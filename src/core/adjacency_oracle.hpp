@@ -142,11 +142,22 @@ class AdjacencyOracle {
   Candidate probe_all(Vertex u, PathSeg seg, PathEnd end) const;
   static Candidate better(Candidate a, Candidate b, PathEnd end);
 
+  // Base neighbors of u ordered by base post index, flattened into CSR form
+  // (offsets + one contiguous data array): the epoch rebuild is two parallel
+  // passes plus per-bucket sorts instead of n vector reallocations, and a
+  // probe's binary search runs over one cache line stream.
+  std::span<const Vertex> base_neighbors(Vertex u) const {
+    const std::size_t su = static_cast<std::size_t>(u);
+    if (su >= built_capacity_) return {};
+    return {sorted_data_.data() + sorted_offsets_[su],
+            static_cast<std::size_t>(sorted_offsets_[su + 1] - sorted_offsets_[su])};
+  }
+
   const TreeIndex* base_ = nullptr;
   Vertex base_capacity_ = 0;
   std::size_t built_capacity_ = 0;  // graph capacity at build time
-  // sorted_[u]: base neighbors of u ordered by base post index.
-  std::vector<std::vector<Vertex>> sorted_;
+  std::vector<std::uint32_t> sorted_offsets_;  // size built_capacity_ + 1
+  std::vector<Vertex> sorted_data_;
   // extras_[u]: endpoints of edges inserted after the build (includes edges
   // of inserted vertices). Small: O(k) per Theorem 9's k <= log n updates.
   std::vector<std::vector<Vertex>> extras_;

@@ -13,6 +13,16 @@ void OracleView::decompose(Vertex near, Vertex far, std::vector<CurSeg>& out) co
     out.push_back({near_is_top ? PathSeg{near, far} : PathSeg{far, near}, near_is_top});
     return;
   }
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(near)) << 32) |
+      static_cast<std::uint32_t>(far);
+  const auto [it, inserted] = decompose_cache_.try_emplace(key);
+  if (inserted) decompose_uncached(near, far, it->second);
+  out = it->second;
+}
+
+void OracleView::decompose_uncached(Vertex near, Vertex far,
+                                    std::vector<CurSeg>& out) const {
   const std::vector<Vertex> verts = cur_->path_vertices(near, far);
   PARDFS_DCHECK(verts.front() == near && verts.back() == far);
   // Split into maximal base-monotone runs; inserted vertices (absent from

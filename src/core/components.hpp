@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "core/adjacency_oracle.hpp"
@@ -68,7 +69,10 @@ class OracleView {
 
   // Decomposes the current-tree monotone path walked from `near` to `far`
   // (inclusive; one endpoint is a current-tree ancestor of the other) into
-  // base segments ordered from the near end.
+  // base segments ordered from the near end. Non-identity decompositions
+  // walk the whole path (O(length)), so they are memoized per view: a view
+  // lives for one update, during which the current tree is immutable, and a
+  // reroot re-queries the same paths for every piece it groups.
   void decompose(Vertex near, Vertex far, std::vector<CurSeg>& out) const;
 
   // Best edge from a piece to the current-tree path [near..far], preferring
@@ -93,10 +97,12 @@ class OracleView {
  private:
   std::optional<Edge> query_sources_over_segs(std::span<const Vertex> sources,
                                               const std::vector<CurSeg>& segs) const;
+  void decompose_uncached(Vertex near, Vertex far, std::vector<CurSeg>& out) const;
 
   const AdjacencyOracle* oracle_ = nullptr;
   const TreeIndex* cur_ = nullptr;
   bool identity_ = true;
+  mutable std::unordered_map<std::uint64_t, std::vector<CurSeg>> decompose_cache_;
 };
 
 }  // namespace pardfs

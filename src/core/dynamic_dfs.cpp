@@ -10,18 +10,24 @@ namespace pardfs {
 DynamicDfs::DynamicDfs(Graph graph, RerootStrategy strategy, pram::CostModel* cost)
     : graph_(std::move(graph)), strategy_(strategy), cost_(cost) {
   parent_ = static_dfs(graph_);
-  rebuild();
+  rebuild_index();
+  rebase();
 }
 
 DynamicDfs::DynamicDfs(DynamicDfs&& other) noexcept
     : graph_(std::move(other.graph_)),
       parent_(std::move(other.parent_)),
       index_(std::move(other.index_)),
+      base_index_(std::move(other.base_index_)),
       oracle_(std::move(other.oracle_)),
       strategy_(other.strategy_),
       cost_(other.cost_),
-      last_stats_(other.last_stats_) {
-  oracle_.rebind_base(&index_);
+      last_stats_(other.last_stats_),
+      epoch_period_(other.epoch_period_),
+      patch_budget_(other.patch_budget_),
+      structural_since_rebase_(other.structural_since_rebase_),
+      epoch_rebuilds_(other.epoch_rebuilds_) {
+  oracle_.rebind_base(&base_index_);
 }
 
 DynamicDfs& DynamicDfs::operator=(DynamicDfs&& other) noexcept {
@@ -29,34 +35,57 @@ DynamicDfs& DynamicDfs::operator=(DynamicDfs&& other) noexcept {
     graph_ = std::move(other.graph_);
     parent_ = std::move(other.parent_);
     index_ = std::move(other.index_);
+    base_index_ = std::move(other.base_index_);
     oracle_ = std::move(other.oracle_);
     strategy_ = other.strategy_;
     cost_ = other.cost_;
     last_stats_ = other.last_stats_;
-    oracle_.rebind_base(&index_);
+    epoch_period_ = other.epoch_period_;
+    patch_budget_ = other.patch_budget_;
+    structural_since_rebase_ = other.structural_since_rebase_;
+    epoch_rebuilds_ = other.epoch_rebuilds_;
+    oracle_.rebind_base(&base_index_);
   }
   return *this;
 }
 
-std::vector<std::uint8_t> DynamicDfs::alive_flags() const {
-  std::vector<std::uint8_t> alive(static_cast<std::size_t>(graph_.capacity()), 0);
-  for (Vertex v = 0; v < graph_.capacity(); ++v) {
-    alive[static_cast<std::size_t>(v)] = graph_.is_alive(v) ? 1 : 0;
-  }
-  return alive;
-}
-
-void DynamicDfs::rebuild() {
-  const auto alive = alive_flags();
+void DynamicDfs::rebuild_index() {
   parent_.resize(static_cast<std::size_t>(graph_.capacity()), kNullVertex);
-  index_.build(parent_, alive);
-  oracle_.build(graph_, index_, cost_);
+  index_.build(parent_, graph_.alive());
 }
 
-void DynamicDfs::execute(const ReductionResult& reduction) {
+void DynamicDfs::rebase() {
+  // index_ already describes the current forest: snapshot it as the epoch's
+  // base tree and rebuild D over it.
+  base_index_ = index_;
+  oracle_.build(graph_, base_index_, cost_);
+  structural_since_rebase_ = 0;
+  ++epoch_rebuilds_;
+  const auto n = static_cast<std::uint64_t>(graph_.num_vertices());
+  epoch_period_ =
+      n > 1 ? static_cast<std::size_t>(64 - __builtin_clzll(n - 1)) : 1;
+  // Theorem 9 budgets k <= log n *updates*; one structural update can emit
+  // several patches (a vertex insert emits 1 + degree), so the patch cap
+  // carries a constant slack over the epoch length.
+  patch_budget_ = 4 * epoch_period_;
+}
+
+void DynamicDfs::maybe_rebase() {
+  if (structural_since_rebase_ >= epoch_period_ ||
+      oracle_.patch_count() > patch_budget_) {
+    rebase();
+  }
+}
+
+void DynamicDfs::finish_structural() {
+  ++structural_since_rebase_;
+  rebuild_index();
+}
+
+void DynamicDfs::execute(const ReductionResult& reduction, const OracleView& view) {
   // parent_ already holds the pre-update forest; reroots overwrite their
-  // subtrees, direct assignments patch single slots.
-  const OracleView view(&oracle_, &index_, /*identity=*/true);
+  // subtrees, direct assignments patch single slots. The view is shared
+  // with the preceding reduction so its decompose memo spans the update.
   Rerooter engine(index_, view, strategy_, cost_);
   last_stats_ = engine.run(reduction.reroots, parent_);
   for (const auto& [v, p] : reduction.direct) {
@@ -65,58 +94,68 @@ void DynamicDfs::execute(const ReductionResult& reduction) {
 }
 
 void DynamicDfs::insert_edge(Vertex u, Vertex v) {
+  // Checked before the back-edge test, which indexes by vertex id.
+  PARDFS_CHECK(graph_.is_alive(u) && graph_.is_alive(v));
+  const bool back = index_.is_ancestor(u, v) || index_.is_ancestor(v, u);
+  // Rebase (if due) against the pre-update graph so the fresh D never holds
+  // (u, v) in both its sorted lists and its patch lists.
+  if (!back) maybe_rebase();
   PARDFS_CHECK(graph_.add_edge(u, v));
   oracle_.note_edge_inserted(u, v);
-  if (index_.is_ancestor(u, v) || index_.is_ancestor(v, u)) {
-    last_stats_ = {};  // back edge: forest unchanged
-  } else {
-    const ReductionResult r = reduce_insert_edge(index_, u, v);
-    execute(r);
+  if (back) {
+    last_stats_ = {};  // back edge: forest untouched, one patch, no rebuild
+    return;
   }
-  rebuild();
+  const OracleView view(&oracle_, &index_, at_base());
+  execute(reduce_insert_edge(index_, u, v), view);
+  finish_structural();
 }
 
 void DynamicDfs::delete_edge(Vertex u, Vertex v) {
-  oracle_.note_edge_deleted(u, v);
-  PARDFS_CHECK(graph_.remove_edge(u, v));
+  // Checked before the tree-edge test, which indexes by vertex id.
+  PARDFS_CHECK(graph_.is_alive(u) && graph_.is_alive(v));
   const bool u_parent = parent_[static_cast<std::size_t>(v)] == u;
   const bool v_parent = parent_[static_cast<std::size_t>(u)] == v;
-  if (!u_parent && !v_parent) {
-    last_stats_ = {};  // back edge: forest unchanged
-  } else {
-    const Vertex parent_side = u_parent ? u : v;
-    const Vertex child_side = u_parent ? v : u;
-    const OracleView view(&oracle_, &index_, /*identity=*/true);
-    const ReductionResult r =
-        reduce_delete_tree_edge(index_, view, parent_side, child_side);
-    execute(r);
+  const bool tree_edge = u_parent || v_parent;
+  if (tree_edge) maybe_rebase();
+  oracle_.note_edge_deleted(u, v);
+  PARDFS_CHECK(graph_.remove_edge(u, v));
+  if (!tree_edge) {
+    last_stats_ = {};  // back edge: forest untouched, one patch, no rebuild
+    return;
   }
-  rebuild();
+  const Vertex parent_side = u_parent ? u : v;
+  const Vertex child_side = u_parent ? v : u;
+  const OracleView view(&oracle_, &index_, at_base());
+  execute(reduce_delete_tree_edge(index_, view, parent_side, child_side), view);
+  finish_structural();
 }
 
 Vertex DynamicDfs::insert_vertex(std::span<const Vertex> neighbors) {
+  maybe_rebase();
   const Vertex v = graph_.add_vertex(neighbors);
   oracle_.note_vertex_inserted(v, neighbors);
   parent_.resize(static_cast<std::size_t>(graph_.capacity()), kNullVertex);
-  const ReductionResult r = reduce_insert_vertex(index_, v, neighbors);
-  execute(r);
-  rebuild();
+  const OracleView view(&oracle_, &index_, at_base());
+  execute(reduce_insert_vertex(index_, v, neighbors), view);
+  finish_structural();
   return v;
 }
 
 void DynamicDfs::delete_vertex(Vertex v) {
+  maybe_rebase();
   const auto nbrs = graph_.neighbors(v);
   const std::vector<Vertex> former_neighbors(nbrs.begin(), nbrs.end());
   std::vector<Vertex> children(index_.children(v).begin(), index_.children(v).end());
   const Vertex former_parent = parent_[static_cast<std::size_t>(v)];
   oracle_.note_vertex_deleted(v, former_neighbors);
   graph_.remove_vertex(v);
-  const OracleView view(&oracle_, &index_, /*identity=*/true);
+  const OracleView view(&oracle_, &index_, at_base());
   const ReductionResult r =
       reduce_delete_vertex(index_, view, v, children, former_parent);
   parent_[static_cast<std::size_t>(v)] = kNullVertex;
-  execute(r);
-  rebuild();
+  execute(r, view);
+  finish_structural();
 }
 
 void DynamicDfs::apply(const GraphUpdate& update) {

@@ -1,10 +1,19 @@
 // Fully dynamic DFS (paper Theorem 1 / 13): maintains a DFS forest of an
 // undirected graph under edge/vertex insertions and deletions.
 //
-// Per update: patch D, mutate the graph, reduce the update to independent
-// subtree reroots (§3), run the parallel rerooting algorithm (§4), then
-// rebuild the tree index and D on the new tree — the step that needs the
-// paper's m processors and makes the whole update O~(1) parallel time.
+// Epoch-based update loop. The data structure D is built over a *base* tree
+// once per epoch and absorbs the epoch's updates as Theorem 9 patches:
+//   * a back-edge insert/delete leaves the forest untouched and costs one
+//     oracle patch — no rebuild of anything;
+//   * a structural update patches D, mutates the graph, reduces to
+//     independent subtree reroots (§3), runs the parallel rerooting
+//     algorithm (§4) with queries decomposed onto the base tree (Theorem 9),
+//     then rebuilds only the O(n) current-tree index (Theorem 10 allows
+//     this with n processors);
+//   * the O(m log n) base rebuild — the step the paper pays m processors
+//     for — runs only when an epoch closes: after Θ(log n) structural
+//     updates or when the patch count crosses the Theorem 9 budget.
+// See DESIGN.md §5 for the policy and budget discussion.
 //
 // Disconnected graphs are maintained as a forest (the paper's virtual root
 // kept implicit; see reduction.hpp).
@@ -31,7 +40,7 @@ class DynamicDfs {
                       RerootStrategy strategy = RerootStrategy::kPaper,
                       pram::CostModel* cost = nullptr);
 
-  // Movable (the embedded oracle is re-pointed at the moved tree index);
+  // Movable (the embedded oracle is re-pointed at the moved base index);
   // copying would duplicate megabytes silently, so it is disabled.
   DynamicDfs(DynamicDfs&& other) noexcept;
   DynamicDfs& operator=(DynamicDfs&& other) noexcept;
@@ -54,18 +63,37 @@ class DynamicDfs {
   // Statistics of the most recent update's rerooting.
   const RerootStats& last_stats() const { return last_stats_; }
 
+  // ---- epoch state (tested / benchmarked) ----------------------------------
+  // Full base-tree + D rebuilds so far, including the constructor's initial
+  // build. Back-edge updates must never advance this counter.
+  std::size_t epoch_rebuilds() const { return epoch_rebuilds_; }
+  // Structural updates absorbed by the current epoch.
+  std::size_t updates_since_rebase() const { return structural_since_rebase_; }
+  // Current epoch length: Θ(log n) structural updates.
+  std::size_t epoch_period() const { return epoch_period_; }
+
  private:
-  void rebuild();  // tree index + oracle after a structural change
-  void execute(const ReductionResult& reduction);
-  std::vector<std::uint8_t> alive_flags() const;
+  void rebase();            // epoch boundary: base tree + D rebuild, O(m log n)
+  void maybe_rebase();      // epoch policy; runs before structural work
+  void rebuild_index();     // current-tree index only, O(n)
+  void finish_structural();
+  void execute(const ReductionResult& reduction, const OracleView& view);
+  // The current tree equals the base tree (only back-edge patches may have
+  // accumulated), so oracle queries need no Theorem 9 path decomposition.
+  bool at_base() const { return structural_since_rebase_ == 0; }
 
   Graph graph_;
   std::vector<Vertex> parent_;
-  TreeIndex index_;
+  TreeIndex index_;       // current forest
+  TreeIndex base_index_;  // epoch snapshot D is built over
   AdjacencyOracle oracle_;
   RerootStrategy strategy_;
   pram::CostModel* cost_;
   RerootStats last_stats_;
+  std::size_t epoch_period_ = 1;
+  std::size_t patch_budget_ = 1;
+  std::size_t structural_since_rebase_ = 0;
+  std::size_t epoch_rebuilds_ = 0;
 };
 
 }  // namespace pardfs

@@ -10,11 +10,7 @@ namespace pardfs {
 FaultTolerantDfs::FaultTolerantDfs(Graph graph, pram::CostModel* cost)
     : base_graph_(std::move(graph)), cost_(cost) {
   base_parent_ = static_dfs(base_graph_);
-  std::vector<std::uint8_t> alive(static_cast<std::size_t>(base_graph_.capacity()));
-  for (Vertex v = 0; v < base_graph_.capacity(); ++v) {
-    alive[static_cast<std::size_t>(v)] = base_graph_.is_alive(v) ? 1 : 0;
-  }
-  base_index_.build(base_parent_, alive);
+  base_index_.build(base_parent_, base_graph_.alive());
   oracle_.build(base_graph_, base_index_, cost_);
   working_graph_ = base_graph_;
   parent_ = base_parent_;
@@ -52,18 +48,9 @@ FaultTolerantDfs& FaultTolerantDfs::operator=(FaultTolerantDfs&& other) noexcept
   return *this;
 }
 
-std::vector<std::uint8_t> FaultTolerantDfs::alive_flags() const {
-  std::vector<std::uint8_t> alive(static_cast<std::size_t>(working_graph_.capacity()));
-  for (Vertex v = 0; v < working_graph_.capacity(); ++v) {
-    alive[static_cast<std::size_t>(v)] = working_graph_.is_alive(v) ? 1 : 0;
-  }
-  return alive;
-}
-
 void FaultTolerantDfs::rebuild_index() {
   parent_.resize(static_cast<std::size_t>(working_graph_.capacity()), kNullVertex);
-  const auto alive = alive_flags();
-  index_.build(parent_, alive);
+  index_.build(parent_, working_graph_.alive());
 }
 
 void FaultTolerantDfs::reset() {
@@ -77,11 +64,7 @@ void FaultTolerantDfs::reset() {
 void FaultTolerantDfs::rebase() {
   base_graph_ = working_graph_;
   base_parent_ = parent_;
-  std::vector<std::uint8_t> alive(static_cast<std::size_t>(base_graph_.capacity()));
-  for (Vertex v = 0; v < base_graph_.capacity(); ++v) {
-    alive[static_cast<std::size_t>(v)] = base_graph_.is_alive(v) ? 1 : 0;
-  }
-  base_index_.build(base_parent_, alive);
+  base_index_.build(base_parent_, base_graph_.alive());
   oracle_.build(base_graph_, base_index_, cost_);
   updates_applied_ = 0;
   rebuild_index();

@@ -57,7 +57,6 @@ class FaultTolerantDfs {
  private:
   void rebuild_index();
   void execute(const ReductionResult& reduction);
-  std::vector<std::uint8_t> alive_flags() const;
 
   // Pristine preprocessed state.
   Graph base_graph_;
@@ -76,13 +75,14 @@ class FaultTolerantDfs {
 };
 
 // Amortized fully dynamic DFS — the trade-off the paper's conclusion asks
-// about. DynamicDfs rebuilds D after EVERY update (O~(m) work, needs m
-// processors to stay O~(1) time); FaultTolerantDfs never rebuilds but each
-// query decomposes over all accumulated reroots, degrading after ~log n
-// updates. AmortizedDynamicDfs rebuilds every `period` updates: per-update
-// rebuild work drops to O~(m / period) amortized while queries pay at most
-// `period` accumulated decompositions. period = 1 is DynamicDfs-like;
-// period = ∞ is FaultTolerantDfs. bench_amortized sweeps the knob.
+// about, with the rebuild period as an explicit knob. FaultTolerantDfs
+// never rebuilds D but each query decomposes over all accumulated reroots,
+// degrading after ~log n updates; AmortizedDynamicDfs rebuilds every
+// `period` updates: per-update rebuild work is O~(m / period) amortized
+// while queries pay at most `period` accumulated decompositions.
+// period = ∞ is FaultTolerantDfs; DynamicDfs's epoch policy (DESIGN.md §5)
+// sits at period = Θ(log n) and adds the back-edge fast path.
+// bench_amortized sweeps the knob.
 class AmortizedDynamicDfs {
  public:
   explicit AmortizedDynamicDfs(Graph graph, std::size_t period,

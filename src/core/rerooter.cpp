@@ -199,6 +199,9 @@ Rerooter::Rerooter(const TreeIndex& current, const OracleView& view,
 RerootStats Rerooter::run(std::span<const RerootRequest> requests,
                           std::span<Vertex> parent_out) {
   RerootStats stats;
+  // Direct-only reductions (detached components, isolated inserts) reroot
+  // nothing; skip the O(n) scratch allocation of the engine context.
+  if (requests.empty()) return stats;
   detail::EngineCtx ctx(cur_, view_, stats);
 
   std::vector<Component> active;

@@ -24,7 +24,7 @@ class Graph {
  public:
   Graph() = default;
   explicit Graph(Vertex n) : adjacency_(static_cast<std::size_t>(n)),
-                             alive_(static_cast<std::size_t>(n), true),
+                             alive_(static_cast<std::size_t>(n), 1),
                              num_alive_(n) {}
 
   // ---- capacity / liveness -------------------------------------------------
@@ -32,8 +32,12 @@ class Graph {
   Vertex num_vertices() const { return num_alive_; }
   std::int64_t num_edges() const { return num_edges_; }
   bool is_alive(Vertex v) const {
-    return v >= 0 && v < capacity() && alive_[static_cast<std::size_t>(v)];
+    return v >= 0 && v < capacity() && alive_[static_cast<std::size_t>(v)] != 0;
   }
+  // Zero-copy liveness bitmap, indexed by vertex id (1 = alive). Feeds
+  // TreeIndex::build directly, so per-update consumers need not materialize
+  // their own O(n) copy.
+  std::span<const std::uint8_t> alive() const { return alive_; }
 
   // ---- updates ---------------------------------------------------------—--
   // Adds an isolated vertex; returns its id.
@@ -65,7 +69,7 @@ class Graph {
   void check_alive(Vertex v) const;
 
   std::vector<std::vector<Vertex>> adjacency_;
-  std::vector<bool> alive_;
+  std::vector<std::uint8_t> alive_;  // byte bitmap: spannable, parallel-scan friendly
   Vertex num_alive_ = 0;
   std::int64_t num_edges_ = 0;
 };

@@ -17,9 +17,4 @@ int num_threads() {
 
 void set_num_threads(int n) { g_threads.store(n, std::memory_order_relaxed); }
 
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body) {
-  parallel_for_t(begin, end, [&](std::size_t i) { body(i); });
-}
-
 }  // namespace pardfs::pram

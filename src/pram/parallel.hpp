@@ -1,6 +1,6 @@
 // Thin PRAM-style facade over OpenMP.
 //
-// The algorithm code reads as the paper's PRAM pseudo-code: `parallel_for`
+// The algorithm code reads as the paper's PRAM pseudo-code: `parallel_for_t`
 // assigns one logical processor per element, `parallel_reduce` is an
 // O(log n)-depth tree reduction. Results are deterministic and independent
 // of the physical thread count (reductions use a user-supplied associative,
@@ -14,7 +14,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 namespace pardfs::pram {
@@ -25,11 +24,8 @@ inline constexpr std::size_t kSerialGrain = 2048;
 int num_threads();
 void set_num_threads(int n);
 
-// for (i in [begin, end)) body(i), one logical processor per index.
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body);
-
-// Template variant that avoids std::function overhead in hot paths.
+// for (i in [begin, end)) body(i), one logical processor per index. Body is
+// a template parameter (not std::function) so hot loops inline fully.
 template <typename Body>
 void parallel_for_t(std::size_t begin, std::size_t end, Body&& body) {
   const std::size_t count = end > begin ? end - begin : 0;

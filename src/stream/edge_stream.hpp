@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "graph/edge.hpp"
@@ -20,8 +19,10 @@ class EdgeStream {
   EdgeStream() = default;
   explicit EdgeStream(std::vector<Edge> edges) : edges_(std::move(edges)) {}
 
-  // One pass over the entire stream.
-  void for_each_edge(const std::function<void(const Edge&)>& fn) {
+  // One pass over the entire stream. Fn is a template parameter so the
+  // per-edge callback inlines (a pass touches all m edges).
+  template <typename Fn>
+  void for_each_edge(Fn&& fn) {
     ++passes_;
     for (const Edge& e : edges_) fn(e);
   }

@@ -1,11 +1,40 @@
 #include "tree/lca.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "pram/parallel.hpp"
 #include "util/check.hpp"
 
 namespace pardfs {
+namespace {
+
+// argmin of every (i, j) window for every ±1 descent pattern of a block:
+// pos[p][i][j] is the local position of the depth minimum on [i, j] when bit
+// (t-1) of p says the tour descends into local position t. 8 KiB, built once
+// per process; blocks straddling tree boundaries have non-±1 steps encoded
+// as ascents, which is safe because a query range never crosses trees.
+struct PatternTable {
+  std::uint8_t pos[128][8][8];
+  PatternTable() {
+    for (int p = 0; p < 128; ++p) {
+      int d[8] = {0};
+      for (int t = 1; t < 8; ++t) d[t] = d[t - 1] + (((p >> (t - 1)) & 1) ? -1 : 1);
+      for (int i = 0; i < 8; ++i) {
+        for (int j = i; j < 8; ++j) {
+          int best = i;
+          for (int t = i + 1; t <= j; ++t) {
+            if (d[t] < d[best]) best = t;
+          }
+          pos[p][i][j] = static_cast<std::uint8_t>(best);
+        }
+      }
+    }
+  }
+};
+const PatternTable g_patterns;
+
+}  // namespace
 
 void LcaTable::build(std::vector<Vertex> euler, std::vector<std::int32_t> depth_at,
                      std::vector<std::int32_t> first_pos) {
@@ -13,23 +42,43 @@ void LcaTable::build(std::vector<Vertex> euler, std::vector<std::int32_t> depth_
   depth_at_ = std::move(depth_at);
   first_pos_ = std::move(first_pos);
   const std::size_t n = euler_.size();
-  table_.clear();
-  log2_.assign(n + 1, 0);
-  for (std::size_t i = 2; i <= n; ++i) log2_[i] = log2_[i / 2] + 1;
-  if (n == 0) return;
+  if (n == 0) {
+    pattern_.clear();
+    block_table_.clear();
+    log2_.clear();
+    num_blocks_ = 0;
+    return;
+  }
 
-  const int levels = log2_[n] + 1;
-  table_.resize(static_cast<std::size_t>(levels));
-  table_[0].resize(n);
-  pram::parallel_for_t(0, n, [&](std::size_t i) {
-    table_[0][i] = static_cast<std::int32_t>(i);
+  num_blocks_ = static_cast<std::int32_t>((n + kBlock - 1) / kBlock);
+  const std::size_t blocks = static_cast<std::size_t>(num_blocks_);
+  log2_.assign(blocks + 1, 0);
+  for (std::size_t i = 2; i <= blocks; ++i) log2_[i] = log2_[i / 2] + 1;
+
+  pattern_.resize(blocks);
+  const int levels = log2_[blocks] + 1;
+  block_table_.resize(static_cast<std::size_t>(levels) * blocks);
+  // Level 0: descent pattern and argmin position of each block, one pass.
+  pram::parallel_for_t(0, blocks, [&](std::size_t b) {
+    const std::int32_t lo = static_cast<std::int32_t>(b) * kBlock;
+    const std::int32_t hi =
+        std::min(lo + kBlock - 1, static_cast<std::int32_t>(n) - 1);
+    std::uint8_t p = 0;
+    for (std::int32_t t = 1; t <= hi - lo; ++t) {
+      if (depth_at_[static_cast<std::size_t>(lo + t)] <
+          depth_at_[static_cast<std::size_t>(lo + t - 1)]) {
+        p |= static_cast<std::uint8_t>(1u << (t - 1));
+      }
+    }
+    pattern_[b] = p;
+    block_table_[b] = lo + g_patterns.pos[p][0][hi - lo];
   });
+  // Doubling levels over block minima: (n / kBlock) log n total work.
   for (int k = 1; k < levels; ++k) {
     const std::size_t span = std::size_t{1} << k;
-    const std::size_t rows = n - span + 1;
-    table_[static_cast<std::size_t>(k)].resize(rows);
-    auto& cur = table_[static_cast<std::size_t>(k)];
-    const auto& prev = table_[static_cast<std::size_t>(k - 1)];
+    const std::size_t rows = blocks - span + 1;
+    const std::int32_t* prev = block_table_.data() + (k - 1) * blocks;
+    std::int32_t* cur = block_table_.data() + k * blocks;
     pram::parallel_for_t(0, rows, [&](std::size_t i) {
       const std::int32_t a = prev[i];
       const std::int32_t b = prev[i + span / 2];
@@ -41,15 +90,42 @@ void LcaTable::build(std::vector<Vertex> euler, std::vector<std::int32_t> depth_
   }
 }
 
+std::int32_t LcaTable::in_block(std::int32_t lo, std::int32_t hi) const {
+  const std::int32_t b = lo / kBlock;
+  const std::int32_t base = b * kBlock;
+  return base +
+         g_patterns.pos[pattern_[static_cast<std::size_t>(b)]][lo - base][hi - base];
+}
+
 std::int32_t LcaTable::argmin(std::int32_t lo, std::int32_t hi) const {
-  const std::int32_t len = hi - lo + 1;
-  const std::int32_t k = log2_[static_cast<std::size_t>(len)];
-  const std::int32_t a = table_[static_cast<std::size_t>(k)][static_cast<std::size_t>(lo)];
-  const std::int32_t b = table_[static_cast<std::size_t>(k)]
-                               [static_cast<std::size_t>(hi - (1 << k) + 1)];
-  return depth_at_[static_cast<std::size_t>(a)] <= depth_at_[static_cast<std::size_t>(b)]
-             ? a
-             : b;
+  const std::int32_t bl = lo / kBlock;
+  const std::int32_t bh = hi / kBlock;
+  if (bl == bh) return in_block(lo, hi);
+  // Partial blocks at both ends, full blocks answered by the sparse table.
+  std::int32_t best = in_block(lo, bl * kBlock + kBlock - 1);
+  const std::int32_t tail = in_block(bh * kBlock, hi);
+  if (depth_at_[static_cast<std::size_t>(tail)] <
+      depth_at_[static_cast<std::size_t>(best)]) {
+    best = tail;
+  }
+  if (bh - bl > 1) {
+    const std::int32_t first = bl + 1;
+    const std::int32_t last = bh - 1;  // inclusive block range
+    const std::int32_t k = log2_[static_cast<std::size_t>(last - first + 1)];
+    const std::int32_t* row =
+        block_table_.data() + static_cast<std::size_t>(k) * num_blocks_;
+    const std::int32_t a = row[first];
+    const std::int32_t b = row[last - (1 << k) + 1];
+    const std::int32_t mid =
+        depth_at_[static_cast<std::size_t>(a)] <= depth_at_[static_cast<std::size_t>(b)]
+            ? a
+            : b;
+    if (depth_at_[static_cast<std::size_t>(mid)] <
+        depth_at_[static_cast<std::size_t>(best)]) {
+      best = mid;
+    }
+  }
+  return best;
 }
 
 Vertex LcaTable::query(Vertex u, Vertex v) const {

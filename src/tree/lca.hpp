@@ -1,13 +1,18 @@
-// O(1) LCA after O(n log n) preprocessing: Euler tour + sparse-table RMQ.
+// O(1) LCA after O(n) preprocessing: Euler tour + block RMQ (Fischer–Heun).
 //
 // Stand-in for Schieber–Vishkin (paper Theorem 5/6) with identical query
-// complexity; the preprocessing is one parallel pass plus a table fill whose
-// rows are independent (O(log n) PRAM rounds). See DESIGN.md §6 for the
-// substitution note.
+// complexity. The tour is cut into blocks of size kBlock; a sparse table is
+// built over block minima only (n/kBlock entries), so preprocessing is
+// O(n + (n / kBlock) log n) — the table's log factor no longer multiplies n,
+// which matters because the epoch update loop rebuilds this structure after
+// every structural update. In-block queries exploit the Euler tour's ±1
+// depth steps: each block stores its descent bit pattern and a static
+// 2^(kBlock-1) × kBlock × kBlock table (built once per process) maps
+// (pattern, i, j) to the in-block argmin, so a query is a handful of array
+// lookups. See DESIGN.md §6 for the substitution note.
 #pragma once
 
 #include <cstdint>
-#include <span>
 #include <vector>
 
 #include "graph/edge.hpp"
@@ -31,14 +36,25 @@ class LcaTable {
   bool empty() const { return euler_.empty(); }
 
  private:
+  static constexpr std::int32_t kBlock = 8;
+
   std::int32_t argmin(std::int32_t lo, std::int32_t hi) const;  // inclusive range
+  // In-block argmin over tour positions [lo, hi] (same block) via the
+  // pattern table.
+  std::int32_t in_block(std::int32_t lo, std::int32_t hi) const;
 
   std::vector<Vertex> euler_;
   std::vector<std::int32_t> depth_at_;
   std::vector<std::int32_t> first_pos_;
-  // table_[k] holds argmin positions of windows of length 2^k.
-  std::vector<std::vector<std::int32_t>> table_;
-  std::vector<std::int32_t> log2_;
+  // Descent pattern of each block: bit t set iff depth decreases from local
+  // position t-1 to t (t in 1..kBlock-1).
+  std::vector<std::uint8_t> pattern_;
+  // block_table_ is a flat level-major array: level k (window of 2^k blocks)
+  // lives at [k * num_blocks_, k * num_blocks_ + num_blocks_ - 2^k + 1) and
+  // holds the argmin tour position of that block window.
+  std::vector<std::int32_t> block_table_;
+  std::vector<std::int32_t> log2_;  // log2_[b] for block counts
+  std::int32_t num_blocks_ = 0;
 };
 
 }  // namespace pardfs

@@ -49,26 +49,41 @@ TEST(CostModel, ResetClears) {
 
 TEST(CostModel, DynamicDfsReportsPramQuantities) {
   // Wiring check: an update through DynamicDfs must record query rounds and
-  // probes in the attached cost model.
+  // probes; the O(m log n) D rebuild is charged at epoch boundaries.
   CostModel cm;
   Rng rng(1);
   Graph g = gen::random_connected(200, 400, rng);
   DynamicDfs dfs(g, RerootStrategy::kPaper, &cm);
-  const CostSnapshot before = cm.snapshot();
-  // A tree-edge deletion that forces a reroot.
-  const auto parent = dfs.parent();
-  Vertex child = kNullVertex;
-  for (Vertex v = 0; v < 200; ++v) {
-    if (parent[static_cast<std::size_t>(v)] != kNullVertex) {
-      child = v;
-      break;
+  const CostSnapshot pre = cm.snapshot();
+  EXPECT_GT(pre.rounds, 0u);
+  EXPECT_GT(pre.work, 0u) << "preprocessing builds D";
+
+  auto delete_one_tree_edge = [&]() -> bool {
+    const auto parent = dfs.parent();
+    for (Vertex v = 0; v < dfs.graph().capacity(); ++v) {
+      const Vertex p = parent[static_cast<std::size_t>(v)];
+      if (dfs.graph().is_alive(v) && p != kNullVertex) {
+        dfs.delete_edge(p, v);
+        return true;
+      }
     }
-  }
-  ASSERT_NE(child, kNullVertex);
-  dfs.delete_edge(parent[static_cast<std::size_t>(child)], child);
-  const CostSnapshot d = cm.snapshot() - before;
+    return false;
+  };
+
+  ASSERT_TRUE(delete_one_tree_edge());
+  const CostSnapshot d = cm.snapshot() - pre;
   EXPECT_GT(d.rounds, 0u);
-  EXPECT_GT(d.work, 0u) << "the D rebuild alone contributes work";
+  EXPECT_GT(d.query_rounds, 0u) << "a reroot issues query sets";
+  EXPECT_GT(d.query_probes, 0u);
+
+  // Drive structural updates across an epoch boundary: the D rebuild work
+  // must then appear in the model.
+  const std::size_t rebuilds_before = dfs.epoch_rebuilds();
+  while (dfs.epoch_rebuilds() == rebuilds_before) {
+    ASSERT_TRUE(delete_one_tree_edge()) << "ran out of tree edges before rebase";
+  }
+  const CostSnapshot e = cm.snapshot() - pre;
+  EXPECT_GT(e.work, 0u) << "the epoch D rebuild contributes work";
 }
 
 }  // namespace

@@ -1,0 +1,118 @@
+// Epoch policy tests for DynamicDfs: back-edge updates must never rebuild
+// anything, structural updates must amortize the O(m log n) base rebuild
+// over Θ(log n)-length epochs, and the maintained forest must stay a valid
+// DFS forest across many epoch boundaries under a long mixed update stream.
+#include <gtest/gtest.h>
+
+#include "core/dynamic_dfs.hpp"
+#include "graph/generators.hpp"
+#include "tree/validation.hpp"
+#include "util/random.hpp"
+
+namespace pardfs {
+namespace {
+
+TEST(Epoch, BackEdgeUpdatesPerformZeroRebuilds) {
+  // On a path graph the DFS tree is the path itself: (a, b) with a < b is
+  // always an ancestor pair, i.e. a back edge.
+  DynamicDfs dfs(gen::path(50));
+  const std::size_t rebuilds = dfs.epoch_rebuilds();
+  const std::vector<Vertex> before(dfs.parent().begin(), dfs.parent().end());
+  for (int round = 0; round < 20; ++round) {
+    dfs.insert_edge(0, 30);
+    dfs.insert_edge(5, 45);
+    dfs.delete_edge(0, 30);
+    dfs.delete_edge(5, 45);
+  }
+  EXPECT_EQ(dfs.epoch_rebuilds(), rebuilds) << "back edges must not rebuild";
+  EXPECT_EQ(dfs.updates_since_rebase(), 0u) << "back edges are not structural";
+  EXPECT_EQ(before, std::vector<Vertex>(dfs.parent().begin(), dfs.parent().end()));
+  EXPECT_TRUE(validate_dfs_forest(dfs.graph(), dfs.parent()).ok);
+}
+
+TEST(Epoch, StructuralUpdatesCrossEpochBoundary) {
+  Rng rng(7);
+  DynamicDfs dfs(gen::random_connected(128, 512, rng));
+  const std::size_t rebuilds = dfs.epoch_rebuilds();
+  const std::size_t period = dfs.epoch_period();
+  EXPECT_GE(period, 1u);
+  // Deleting tree edges is always structural; period + 1 of them must close
+  // the epoch.
+  for (std::size_t i = 0; i <= period; ++i) {
+    const auto parent = dfs.parent();
+    Vertex child = kNullVertex;
+    for (Vertex v = 0; v < dfs.graph().capacity(); ++v) {
+      if (dfs.graph().is_alive(v) &&
+          parent[static_cast<std::size_t>(v)] != kNullVertex) {
+        child = v;
+        break;
+      }
+    }
+    ASSERT_NE(child, kNullVertex);
+    dfs.delete_edge(dfs.parent_of(child), child);
+    ASSERT_TRUE(validate_dfs_forest(dfs.graph(), dfs.parent()).ok);
+  }
+  EXPECT_GT(dfs.epoch_rebuilds(), rebuilds);
+  EXPECT_LE(dfs.updates_since_rebase(), period);
+}
+
+TEST(Epoch, LongMixedStreamStaysValidAcrossEpochs) {
+  // ≥500 mixed updates (edge/vertex insert+delete) with the forest checked
+  // against tree/validation after every single one; epoch boundaries are
+  // crossed many times along the way.
+  Rng rng(20260729);
+  Graph g = gen::random_connected(120, 360, rng);
+  DynamicDfs dfs(g);
+  const std::size_t rebuilds_at_start = dfs.epoch_rebuilds();
+  int applied = 0;
+  while (applied < 500) {
+    gen::Update u;
+    ASSERT_TRUE(gen::random_update(dfs.graph(), rng, 1.0, 1.0, 0.3, 0.3, u))
+        << "stream became infeasible at step " << applied;
+    switch (u.kind) {
+      case gen::UpdateKind::kInsertEdge:
+        dfs.insert_edge(u.u, u.v);
+        break;
+      case gen::UpdateKind::kDeleteEdge:
+        dfs.delete_edge(u.u, u.v);
+        break;
+      case gen::UpdateKind::kInsertVertex:
+        dfs.insert_vertex(u.neighbors);
+        break;
+      case gen::UpdateKind::kDeleteVertex:
+        dfs.delete_vertex(u.u);
+        break;
+    }
+    ++applied;
+    const auto val = validate_dfs_forest(dfs.graph(), dfs.parent());
+    ASSERT_TRUE(val.ok) << "step " << applied << ": " << val.reason;
+  }
+  const std::size_t crossed = dfs.epoch_rebuilds() - rebuilds_at_start;
+  EXPECT_GE(crossed, 5u) << "the stream must cross several epoch boundaries";
+  EXPECT_LT(crossed, 500u) << "rebuilds must be amortized, not per-update";
+}
+
+TEST(Epoch, MovedInstanceKeepsEpochState) {
+  Rng rng(3);
+  DynamicDfs a(gen::random_connected(64, 128, rng));
+  DynamicDfs b(std::move(a));
+  // The moved-into instance must keep working across an epoch boundary (the
+  // oracle's base pointer is re-bound on move).
+  for (std::size_t i = 0; i <= b.epoch_period(); ++i) {
+    const auto parent = b.parent();
+    Vertex child = kNullVertex;
+    for (Vertex v = 0; v < b.graph().capacity(); ++v) {
+      if (b.graph().is_alive(v) &&
+          parent[static_cast<std::size_t>(v)] != kNullVertex) {
+        child = v;
+        break;
+      }
+    }
+    ASSERT_NE(child, kNullVertex);
+    b.delete_edge(b.parent_of(child), child);
+    ASSERT_TRUE(validate_dfs_forest(b.graph(), b.parent()).ok);
+  }
+}
+
+}  // namespace
+}  // namespace pardfs
