@@ -1,0 +1,226 @@
+// E-service — the serving layer under concurrent load (see EXPERIMENTS.md).
+//
+// Three measurements:
+//   * read throughput vs reader-thread count on the read-heavy workload
+//     while one producer churns updates in the background — snapshot reads
+//     must scale with threads (the RCU claim);
+//   * per-update acknowledged latency (submit -> snapshot published) per
+//     workload scenario, p50/p99 exported as counters;
+//   * writer throughput under producer pressure — how large the coalesced
+//     batches grow and how few index rebuilds the batch path pays.
+//
+// run_bench.sh emits this binary's JSON as BENCH_service.json.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "service/dfs_service.hpp"
+#include "service/workload.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace pardfs;
+using namespace pardfs::service;
+
+// A reader performs batches of queries, reloading the snapshot between
+// batches (the serving pattern: one atomic load amortized over many answers).
+std::uint64_t run_reader_queries(const DfsService& svc, Rng& rng,
+                                 std::uint64_t total) {
+  std::uint64_t answered = 0;
+  std::uint64_t sink = 0;
+  while (answered < total) {
+    const SnapshotPtr snap = svc.snapshot();
+    const Vertex cap = snap->capacity();
+    for (int q = 0; q < 64 && answered < total; ++q, ++answered) {
+      const Vertex u = static_cast<Vertex>(rng.below(cap));
+      const Vertex v = static_cast<Vertex>(rng.below(cap));
+      sink += snap->is_ancestor(u, v) ? 1 : 0;
+      sink += static_cast<std::uint64_t>(snap->lca(u, v));
+      sink += snap->same_component(u, v) ? 1 : 0;
+      sink += static_cast<std::uint64_t>(snap->root_of(u));
+    }
+  }
+  return sink;
+}
+
+// Read throughput scaling: Arg = reader threads. One background producer
+// streams the read-heavy workload the whole time.
+void BM_ServiceReadThroughput(benchmark::State& state) {
+  const int readers = static_cast<int>(state.range(0));
+  const WorkloadSpec spec{Scenario::kReadHeavy, 1 << 12, 42};
+  DfsService svc(make_initial_graph(spec));
+  std::atomic<bool> stop_producer{false};
+  std::thread producer([&] {
+    WorkloadDriver driver(spec);
+    while (!stop_producer.load(std::memory_order_relaxed)) {
+      (void)svc.apply_sync(driver.next());
+    }
+  });
+
+  constexpr std::uint64_t kQueriesPerReader = 1 << 14;
+  for (auto _ : state) {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(readers));
+    for (int r = 0; r < readers; ++r) {
+      pool.emplace_back([&, r] {
+        Rng rng(1000 + static_cast<std::uint64_t>(r));
+        benchmark::DoNotOptimize(run_reader_queries(svc, rng, kQueriesPerReader));
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+  stop_producer.store(true);
+  producer.join();
+  svc.stop();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          readers * kQueriesPerReader);
+  state.counters["readers"] = static_cast<double>(readers);
+  state.counters["snapshots"] =
+      static_cast<double>(svc.stats().snapshots_published);
+}
+BENCHMARK(BM_ServiceReadThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Acknowledged update latency per scenario (submit -> publishing snapshot),
+// with a small reader pool running so the measurement includes real sharing.
+void BM_ServiceUpdateLatency(benchmark::State& state) {
+  const auto scenario = static_cast<Scenario>(state.range(0));
+  const WorkloadSpec spec{scenario, 1 << 11, 7};
+  WorkloadDriver driver(spec);
+  DfsService svc(make_initial_graph(spec));
+  std::atomic<bool> stop_readers{false};
+  std::vector<std::thread> pool;
+  for (int r = 0; r < 2; ++r) {
+    pool.emplace_back([&, r] {
+      Rng rng(50 + static_cast<std::uint64_t>(r));
+      while (!stop_readers.load(std::memory_order_relaxed)) {
+        benchmark::DoNotOptimize(run_reader_queries(svc, rng, 1 << 10));
+      }
+    });
+  }
+  std::vector<double> latencies_us;
+  latencies_us.reserve(1 << 16);
+  for (auto _ : state) {
+    const auto begin = std::chrono::steady_clock::now();
+    (void)svc.apply_sync(driver.next());
+    const auto end = std::chrono::steady_clock::now();
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(end - begin).count());
+  }
+  stop_readers.store(true);
+  for (auto& t : pool) t.join();
+  svc.stop();
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const auto percentile = [&](double p) {
+    if (latencies_us.empty()) return 0.0;
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(latencies_us.size() - 1));
+    return latencies_us[idx];
+  };
+  state.counters["p50_us"] = percentile(0.50);
+  state.counters["p99_us"] = percentile(0.99);
+  state.SetLabel(scenario_name(scenario));
+}
+BENCHMARK(BM_ServiceUpdateLatency)
+    ->Arg(static_cast<int>(Scenario::kReadHeavy))
+    ->Arg(static_cast<int>(Scenario::kInsertChurn))
+    ->Arg(static_cast<int>(Scenario::kAdversarialStar))
+    ->Arg(static_cast<int>(Scenario::kSocialMix))
+    ->Unit(benchmark::kMicrosecond);
+
+// Full client mix per scenario: each operation is a snapshot read with the
+// scenario's canonical read_fraction, otherwise a submitted update (synced
+// every 64 in-flight updates to bound queue growth). items = operations.
+void BM_ServiceScenarioMix(benchmark::State& state) {
+  const auto scenario = static_cast<Scenario>(state.range(0));
+  const WorkloadSpec spec{scenario, 1 << 11, 13};
+  WorkloadDriver driver(spec);
+  DfsService svc(make_initial_graph(spec));
+  const double reads = read_fraction(scenario);
+  Rng rng(31);
+  std::uint64_t sink = 0;
+  std::vector<UpdateTicket> tickets;
+  for (auto _ : state) {
+    if (rng.uniform() < reads) {
+      const SnapshotPtr snap = svc.snapshot();
+      const Vertex u = static_cast<Vertex>(rng.below(snap->capacity()));
+      sink += static_cast<std::uint64_t>(snap->root_of(u));
+      sink += static_cast<std::uint64_t>(snap->depth(u));
+    } else {
+      tickets.push_back(svc.submit(driver.next()));
+      if (tickets.size() >= 64) {
+        for (const UpdateTicket& t : tickets) t.wait();
+        tickets.clear();
+      }
+    }
+  }
+  for (const UpdateTicket& t : tickets) t.wait();
+  benchmark::DoNotOptimize(sink);
+  svc.stop();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["read_fraction"] = reads;
+  state.counters["max_batch"] = static_cast<double>(svc.stats().max_batch);
+  state.SetLabel(scenario_name(scenario));
+}
+BENCHMARK(BM_ServiceScenarioMix)
+    ->Arg(static_cast<int>(Scenario::kReadHeavy))
+    ->Arg(static_cast<int>(Scenario::kInsertChurn))
+    ->Arg(static_cast<int>(Scenario::kAdversarialStar))
+    ->Arg(static_cast<int>(Scenario::kSocialMix))
+    ->Unit(benchmark::kMicrosecond);
+
+// Writer throughput under pressure: Arg = producer threads racing edge
+// flips. The interesting counters are how large coalesced batches grow and
+// how few O(n) index rebuilds the batch path pays per applied update.
+void BM_ServiceWriterThroughput(benchmark::State& state) {
+  const int producers = static_cast<int>(state.range(0));
+  const Vertex n = 1 << 11;
+  Rng grng(21);
+  ServiceConfig config;
+  config.queue_capacity = 1 << 12;
+  DfsService svc(gen::random_connected(n, 3 * static_cast<std::int64_t>(n), grng),
+                 config);
+  constexpr int kPerProducerPerIter = 128;
+  for (auto _ : state) {
+    std::vector<std::thread> pool;
+    for (int p = 0; p < producers; ++p) {
+      pool.emplace_back([&, p] {
+        Rng rng(300 + static_cast<std::uint64_t>(p));
+        std::vector<UpdateTicket> tickets;
+        tickets.reserve(kPerProducerPerIter);
+        for (int i = 0; i < kPerProducerPerIter; ++i) {
+          const Vertex u = static_cast<Vertex>(rng.below(static_cast<std::uint64_t>(n)));
+          const Vertex v = static_cast<Vertex>(rng.below(static_cast<std::uint64_t>(n)));
+          if (u == v) continue;
+          UpdateTicket t;
+          const GraphUpdate update = rng.coin(0.5)
+                                         ? GraphUpdate::insert_edge(u, v)
+                                         : GraphUpdate::delete_edge(u, v);
+          if (svc.try_submit(update, &t)) tickets.push_back(t);
+        }
+        for (const UpdateTicket& t : tickets) t.wait();
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+  svc.stop();
+  const ServiceStats stats = svc.stats();
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(stats.updates_applied + stats.updates_rejected));
+  state.counters["applied"] = static_cast<double>(stats.updates_applied);
+  state.counters["max_batch"] = static_cast<double>(stats.max_batch);
+  state.counters["rebuilds_per_update"] =
+      stats.updates_applied == 0
+          ? 0.0
+          : static_cast<double>(stats.index_rebuilds) /
+                static_cast<double>(stats.updates_applied);
+}
+BENCHMARK(BM_ServiceWriterThroughput)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace

@@ -3,6 +3,9 @@
 # machine-readable results next to the repo root:
 #   BENCH_update.json      — E1, per-update cost (bench_update)
 #   BENCH_preprocess.json  — E2a, D + tree-index build (bench_preprocess)
+#   BENCH_service.json     — E-service, snapshot-serving layer: read QPS vs
+#                            reader threads, ack latency p50/p99, writer
+#                            coalescing (bench_service)
 #
 # Usage: bench/run_bench.sh [build-dir] [min-time-seconds]
 #   build-dir defaults to <repo>/build-bench; min-time to 0.1 (raise for
@@ -23,5 +26,8 @@ cmake --build "$BUILD" -j "$(nproc)"
 "$BUILD/bench/bench_preprocess" \
   --benchmark_min_time="$MIN_TIME" \
   --benchmark_out_format=json --benchmark_out="$ROOT/BENCH_preprocess.json"
+"$BUILD/bench/bench_service" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_out_format=json --benchmark_out="$ROOT/BENCH_service.json"
 
-echo "wrote $ROOT/BENCH_update.json and $ROOT/BENCH_preprocess.json"
+echo "wrote $ROOT/BENCH_update.json, $ROOT/BENCH_preprocess.json and $ROOT/BENCH_service.json"

@@ -1,0 +1,59 @@
+// Combined reduction for a *batch* of updates (paper §3 applied to the full
+// k-update set of Theorem 13; the same shape as the fault-tolerant batch of
+// Baswana–Gupta–Tulsyan, arXiv:1810.01726).
+//
+// A single update reduces to rerooting O(1) disjoint subtrees
+// (core/reduction). A batch of k structural updates instead reduces to
+// rerooting whole *affected trees*: the skeleton S — the ancestor closure of
+// the O(k) affected vertices — partitions each affected tree into O(k)
+// monotone path pieces (chains of S, cut at deleted vertices, deleted tree
+// edges and branch points) plus the subtrees hanging off S. Pieces are
+// grouped into edge-connected components of the *updated* graph and each
+// group is handed to the rerooting engine as one pre-built component
+// (Rerooter::run_components); trees with no affected vertex are left
+// untouched. The whole batch therefore costs one reduction, one engine pass
+// and — in the caller — one O(n) tree-index rebuild, instead of k of each.
+//
+// Call protocol (mirrors core/reduction): the oracle must already be patched
+// with every update of the batch, the graph must already be mutated, and the
+// tree index must still describe the PRE-batch forest.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/components.hpp"
+#include "graph/graph.hpp"
+#include "tree/tree_index.hpp"
+
+namespace pardfs {
+
+// Structural changes of one batch, classified against the pre-batch forest.
+struct BatchChanges {
+  // Deleted tree edges as (parent_side, child_side) of the pre-batch forest.
+  std::vector<std::pair<Vertex, Vertex>> cut_edges;
+  std::vector<Vertex> deleted_vertices;
+  // Inserted edges that are not back edges of the pre-batch forest. Edges
+  // whose endpoints died later in the same batch are filtered internally.
+  std::vector<Edge> inserted_edges;
+
+  bool structural() const {
+    return !cut_edges.empty() || !deleted_vertices.empty() ||
+           !inserted_edges.empty();
+  }
+};
+
+struct BatchReduction {
+  // Edge-connected groups of pieces, ready for Rerooter::run_components.
+  std::vector<Component> components;
+  // Parent assignments needing no rerooting: roots of detached pieces that
+  // keep their internal structure (single-piece groups). The caller also
+  // nulls the slots of deleted vertices.
+  std::vector<std::pair<Vertex, Vertex>> direct;
+};
+
+BatchReduction reduce_batch(const TreeIndex& cur, const OracleView& view,
+                            const Graph& g, const BatchChanges& changes);
+
+}  // namespace pardfs

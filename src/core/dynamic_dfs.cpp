@@ -26,7 +26,8 @@ DynamicDfs::DynamicDfs(DynamicDfs&& other) noexcept
       epoch_period_(other.epoch_period_),
       patch_budget_(other.patch_budget_),
       structural_since_rebase_(other.structural_since_rebase_),
-      epoch_rebuilds_(other.epoch_rebuilds_) {
+      epoch_rebuilds_(other.epoch_rebuilds_),
+      index_rebuilds_(other.index_rebuilds_) {
   oracle_.rebind_base(&base_index_);
 }
 
@@ -44,6 +45,7 @@ DynamicDfs& DynamicDfs::operator=(DynamicDfs&& other) noexcept {
     patch_budget_ = other.patch_budget_;
     structural_since_rebase_ = other.structural_since_rebase_;
     epoch_rebuilds_ = other.epoch_rebuilds_;
+    index_rebuilds_ = other.index_rebuilds_;
     oracle_.rebind_base(&base_index_);
   }
   return *this;
@@ -52,6 +54,7 @@ DynamicDfs& DynamicDfs::operator=(DynamicDfs&& other) noexcept {
 void DynamicDfs::rebuild_index() {
   parent_.resize(static_cast<std::size_t>(graph_.capacity()), kNullVertex);
   index_.build(parent_, graph_.alive());
+  ++index_rebuilds_;
 }
 
 void DynamicDfs::rebase() {
@@ -173,6 +176,127 @@ void DynamicDfs::apply(const GraphUpdate& update) {
       delete_vertex(update.u);
       break;
   }
+}
+
+bool DynamicDfs::is_structural(const GraphUpdate& u) const {
+  switch (u.kind) {
+    case GraphUpdate::Kind::kInsertEdge:
+      PARDFS_CHECK(graph_.is_alive(u.u) && graph_.is_alive(u.v));
+      return !index_.is_ancestor(u.u, u.v) && !index_.is_ancestor(u.v, u.u);
+    case GraphUpdate::Kind::kDeleteEdge:
+      PARDFS_CHECK(graph_.is_alive(u.u) && graph_.is_alive(u.v));
+      return parent_[static_cast<std::size_t>(u.v)] == u.u ||
+             parent_[static_cast<std::size_t>(u.u)] == u.v;
+    case GraphUpdate::Kind::kInsertVertex:
+    case GraphUpdate::Kind::kDeleteVertex:
+      return true;
+  }
+  return true;
+}
+
+bool DynamicDfs::flush_segment(Segment& seg) {
+  if (seg.ops.empty()) return false;
+  if (seg.structural == 0 || seg.ops.size() == 1) {
+    // All patch-only, or a single update: the per-update path is exact (and
+    // for one structural update reroots only the affected subtrees).
+    for (const GraphUpdate* op : seg.ops) apply(*op);
+    seg.ops.clear();
+    seg.structural = 0;
+    return false;
+  }
+  // Epoch policy runs once, against the pre-batch graph (see insert_edge).
+  maybe_rebase();
+  // Phase 1: mutate the graph and patch D for the whole segment, collecting
+  // the structural changes against the still-pre-batch forest.
+  BatchChanges changes;
+  for (const GraphUpdate* op : seg.ops) {
+    switch (op->kind) {
+      case GraphUpdate::Kind::kInsertEdge: {
+        const bool back = index_.is_ancestor(op->u, op->v) ||
+                          index_.is_ancestor(op->v, op->u);
+        PARDFS_CHECK(graph_.add_edge(op->u, op->v));
+        oracle_.note_edge_inserted(op->u, op->v);
+        if (!back) changes.inserted_edges.push_back({op->u, op->v});
+        break;
+      }
+      case GraphUpdate::Kind::kDeleteEdge: {
+        const bool u_parent = parent_[static_cast<std::size_t>(op->v)] == op->u;
+        const bool v_parent = parent_[static_cast<std::size_t>(op->u)] == op->v;
+        oracle_.note_edge_deleted(op->u, op->v);
+        PARDFS_CHECK(graph_.remove_edge(op->u, op->v));
+        if (u_parent) {
+          changes.cut_edges.emplace_back(op->u, op->v);
+        } else if (v_parent) {
+          changes.cut_edges.emplace_back(op->v, op->u);
+        }
+        break;
+      }
+      case GraphUpdate::Kind::kDeleteVertex: {
+        const Vertex v = op->u;
+        PARDFS_CHECK(graph_.is_alive(v));
+        const auto nbrs = graph_.neighbors(v);
+        const std::vector<Vertex> former_neighbors(nbrs.begin(), nbrs.end());
+        oracle_.note_vertex_deleted(v, former_neighbors);
+        graph_.remove_vertex(v);
+        changes.deleted_vertices.push_back(v);
+        break;
+      }
+      case GraphUpdate::Kind::kInsertVertex:
+        PARDFS_CHECK_MSG(false, "vertex inserts close segments");
+        break;
+    }
+  }
+  // Phase 2 + 3: one combined reduction, one engine pass.
+  const OracleView view(&oracle_, &index_, at_base());
+  BatchReduction reduction = reduce_batch(index_, view, graph_, changes);
+  Rerooter engine(index_, view, strategy_, cost_);
+  last_stats_ = engine.run_components(std::move(reduction.components), parent_);
+  for (const auto& [v, p] : reduction.direct) {
+    parent_[static_cast<std::size_t>(v)] = p;
+  }
+  for (const Vertex v : changes.deleted_vertices) {
+    parent_[static_cast<std::size_t>(v)] = kNullVertex;
+  }
+  // Phase 4: one O(n) index rebuild for the whole segment.
+  structural_since_rebase_ += seg.structural;
+  rebuild_index();
+  seg.ops.clear();
+  seg.structural = 0;
+  return true;
+}
+
+BatchStats DynamicDfs::apply_batch(std::span<const GraphUpdate> updates) {
+  BatchStats stats;
+  stats.updates = updates.size();
+  const std::size_t index_rebuilds_before = index_rebuilds_;
+  const std::size_t base_rebuilds_before = epoch_rebuilds_;
+
+  Segment seg;
+  for (const GraphUpdate& u : updates) {
+    if (u.kind == GraphUpdate::Kind::kInsertVertex) {
+      // Vertex inserts assign an id later updates may reference: they close
+      // the pending segment and run through the per-update path.
+      stats.segments += flush_segment(seg) ? 1 : 0;
+      stats.new_vertices.push_back(insert_vertex(u.neighbors));
+      ++stats.structural;
+      continue;
+    }
+    const bool structural = is_structural(u);
+    if (structural && seg.structural >= epoch_period_) {
+      stats.segments += flush_segment(seg) ? 1 : 0;
+    }
+    seg.ops.push_back(&u);
+    seg.structural += structural ? 1 : 0;
+    if (structural) {
+      ++stats.structural;
+    } else {
+      ++stats.back_edges;
+    }
+  }
+  stats.segments += flush_segment(seg) ? 1 : 0;
+  stats.index_rebuilds = index_rebuilds_ - index_rebuilds_before;
+  stats.base_rebuilds = epoch_rebuilds_ - base_rebuilds_before;
+  return stats;
 }
 
 }  // namespace pardfs

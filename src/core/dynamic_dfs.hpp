@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/adjacency_oracle.hpp"
+#include "core/batch_reduction.hpp"
 #include "core/components.hpp"
 #include "core/reduction.hpp"
 #include "core/rerooter.hpp"
@@ -31,6 +32,18 @@
 #include "tree/tree_index.hpp"
 
 namespace pardfs {
+
+// Outcome of one DynamicDfs::apply_batch call.
+struct BatchStats {
+  std::size_t updates = 0;         // updates absorbed
+  std::size_t structural = 0;      // updates that changed the forest
+  std::size_t back_edges = 0;      // patch-only updates (no structural work)
+  std::size_t segments = 0;        // combined reduction + engine passes run
+  std::size_t index_rebuilds = 0;  // O(n) TreeIndex rebuilds performed
+  std::size_t base_rebuilds = 0;   // epoch rebases (O(m log n)) triggered
+  // Ids assigned to kInsertVertex updates, in batch order.
+  std::vector<Vertex> new_vertices;
+};
 
 class DynamicDfs {
  public:
@@ -54,6 +67,18 @@ class DynamicDfs {
   void delete_vertex(Vertex v);
   void apply(const GraphUpdate& update);
 
+  // Applies a whole batch with the combined k-update reduction
+  // (core/batch_reduction): D is patched for every update, one engine pass
+  // reroots the affected trees, and the O(n) index rebuild runs once per
+  // *segment* instead of once per update. A segment is a maximal run of edge
+  // updates and vertex deletions with at most epoch_period() structural
+  // members (the Theorem 9 patch budget); vertex insertions close segments
+  // (their id assignment feeds later updates) and single-update segments take
+  // the cheaper per-update path. A batch of 2..log n structural edge updates
+  // therefore performs exactly one index rebuild. Updates must be
+  // sequentially feasible, exactly as if applied one by one through apply().
+  BatchStats apply_batch(std::span<const GraphUpdate> updates);
+
   // ---- observers ---------------------------------------------------------
   const Graph& graph() const { return graph_; }
   std::span<const Vertex> parent() const { return parent_; }
@@ -71,12 +96,27 @@ class DynamicDfs {
   std::size_t updates_since_rebase() const { return structural_since_rebase_; }
   // Current epoch length: Θ(log n) structural updates.
   std::size_t epoch_period() const { return epoch_period_; }
+  // O(n) current-tree index rebuilds so far, including the constructor's
+  // (the quantity apply_batch amortizes: one per segment, not per update).
+  std::size_t index_rebuilds() const { return index_rebuilds_; }
 
  private:
+  struct Segment {
+    std::vector<const GraphUpdate*> ops;
+    std::size_t structural = 0;
+  };
+
   void rebase();            // epoch boundary: base tree + D rebuild, O(m log n)
   void maybe_rebase();      // epoch policy; runs before structural work
   void rebuild_index();     // current-tree index only, O(n)
   void finish_structural();
+  // True iff the update would change the forest, judged against the current
+  // tree (valid for every op of a pending segment: the tree only changes at
+  // segment boundaries).
+  bool is_structural(const GraphUpdate& u) const;
+  // Returns true when the segment ran the combined reduction (one index
+  // rebuild); false for the per-update fallbacks.
+  bool flush_segment(Segment& seg);
   void execute(const ReductionResult& reduction, const OracleView& view);
   // The current tree equals the base tree (only back-edge patches may have
   // accumulated), so oracle queries need no Theorem 9 path decomposition.
@@ -94,6 +134,7 @@ class DynamicDfs {
   std::size_t patch_budget_ = 1;
   std::size_t structural_since_rebase_ = 0;
   std::size_t epoch_rebuilds_ = 0;
+  std::size_t index_rebuilds_ = 0;
 };
 
 }  // namespace pardfs

@@ -198,11 +198,9 @@ Rerooter::Rerooter(const TreeIndex& current, const OracleView& view,
 
 RerootStats Rerooter::run(std::span<const RerootRequest> requests,
                           std::span<Vertex> parent_out) {
-  RerootStats stats;
   // Direct-only reductions (detached components, isolated inserts) reroot
   // nothing; skip the O(n) scratch allocation of the engine context.
-  if (requests.empty()) return stats;
-  detail::EngineCtx ctx(cur_, view_, stats);
+  if (requests.empty()) return {};
 
   std::vector<Component> active;
   active.reserve(requests.size());
@@ -217,6 +215,19 @@ RerootStats Rerooter::run(std::span<const RerootRequest> requests,
     c.pieces = {Piece::subtree(r.subtree_root)};
     c.entry_piece = 0;
     active.push_back(std::move(c));
+  }
+  return run_components(std::move(active), parent_out);
+}
+
+RerootStats Rerooter::run_components(std::vector<Component> active,
+                                     std::span<Vertex> parent_out) {
+  RerootStats stats;
+  if (active.empty()) return stats;
+  detail::EngineCtx ctx(cur_, view_, stats);
+  for (const Component& c : active) {
+    PARDFS_CHECK(!c.pieces.empty());
+    PARDFS_CHECK(c.entry_piece >= 0 &&
+                 c.entry_piece < static_cast<std::int32_t>(c.pieces.size()));
   }
 
   std::vector<Component> next;

@@ -76,6 +76,14 @@ class Rerooter {
   RerootStats run(std::span<const RerootRequest> requests,
                   std::span<Vertex> parent_out);
 
+  // Batch entry point (paper's k-update handling, Theorem 13): seeds the
+  // engine with pre-built components — each a set of vertex-disjoint pieces
+  // of the current forest, edge-connected in the updated graph — instead of
+  // single-subtree reroot requests. Used by the combined batch reduction
+  // (core/batch_reduction); every piece vertex receives a new parent.
+  RerootStats run_components(std::vector<Component> initial,
+                             std::span<Vertex> parent_out);
+
  private:
   const TreeIndex& cur_;
   const OracleView& view_;

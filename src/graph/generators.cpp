@@ -127,6 +127,38 @@ Graph random_connected(Vertex n, std::int64_t extra, Rng& rng) {
   return g;
 }
 
+Graph barabasi_albert(Vertex n, Vertex m, Rng& rng) {
+  PARDFS_CHECK(m >= 1 && n >= m + 1);
+  Graph g(n);
+  // Endpoint list: every vertex appears once per incident edge, so a uniform
+  // draw from it is degree-proportional attachment.
+  std::vector<Vertex> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(n) * 2 * static_cast<std::size_t>(m));
+  for (Vertex i = 0; i <= m; ++i) {
+    for (Vertex j = i + 1; j <= m; ++j) {
+      g.add_edge(i, j);
+      endpoints.push_back(i);
+      endpoints.push_back(j);
+    }
+  }
+  std::vector<Vertex> targets;
+  for (Vertex v = m + 1; v < n; ++v) {
+    targets.clear();
+    while (static_cast<Vertex>(targets.size()) < m) {
+      const Vertex t = endpoints[rng.below(endpoints.size())];
+      if (std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    for (const Vertex t : targets) {
+      g.add_edge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return g;
+}
+
 namespace {
 
 // Picks a uniformly random alive vertex; returns kNullVertex if none.

@@ -57,6 +57,14 @@ Graph hairy_path(Vertex spine, Vertex hair);
 // edges — guaranteed connected.
 Graph random_connected(Vertex n, std::int64_t extra, Rng& rng);
 
+// Barabási–Albert preferential attachment: a clique seed on m+1 vertices,
+// then each new vertex attaches to m distinct existing vertices chosen with
+// probability proportional to their degree (classic repeated-endpoint
+// sampling). Produces the power-law degree distribution of social graphs —
+// hub vertices make service workloads adversarial: one hub update touches a
+// Θ(n) neighborhood. Connected; m ≥ 1; n ≥ m + 1.
+Graph barabasi_albert(Vertex n, Vertex m, Rng& rng);
+
 // A random update mix used by benchmarks and property tests.
 enum class UpdateKind : std::uint8_t {
   kInsertEdge,

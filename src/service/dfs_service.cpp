@@ -1,0 +1,217 @@
+#include "service/dfs_service.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace pardfs::service {
+
+// Tracks the effect of the accepted prefix of one batch on top of the core
+// graph, so feasibility of update i sees updates 0..i-1 (clients race each
+// other; the queue order is the serialization the service commits to).
+struct DfsService::BatchDelta {
+  std::unordered_map<std::uint64_t, bool> edges;  // undirected key -> present
+  std::unordered_set<Vertex> dead;
+  Vertex next_vertex = 0;  // first id not yet assigned
+};
+
+DfsService::DfsService(Graph initial, ServiceConfig config)
+    : config_(config),
+      dfs_(std::move(initial), config.strategy),
+      queue_(config.queue_capacity),
+      paused_(config.start_paused) {
+  version_ = 1;
+  publish(/*forest_unchanged=*/false);
+  writer_ = std::thread([this] { writer_loop(); });
+}
+
+DfsService::~DfsService() { stop(); }
+
+std::uint64_t DfsService::apply_sync(GraphUpdate update) {
+  const UpdateTicket ticket = submit(std::move(update));
+  if (!ticket.valid()) return UpdateTicket::kRejected;  // stopped
+  return ticket.wait();
+}
+
+void DfsService::pause() {
+  {
+    std::lock_guard lock(control_mu_);
+    paused_ = true;
+  }
+  control_cv_.notify_all();
+}
+
+void DfsService::resume() {
+  {
+    std::lock_guard lock(control_mu_);
+    paused_ = false;
+  }
+  control_cv_.notify_all();
+}
+
+void DfsService::stop() {
+  {
+    std::lock_guard lock(control_mu_);
+    stopped_ = true;
+    paused_ = false;
+  }
+  control_cv_.notify_all();
+  queue_.close();
+  if (writer_.joinable()) writer_.join();
+}
+
+ServiceStats DfsService::stats() const {
+  std::lock_guard lock(control_mu_);
+  return stats_;
+}
+
+void DfsService::publish(bool forest_unchanged) {
+  const Graph& g = dfs_.graph();
+  std::shared_ptr<const DfsSnapshot::Forest> forest;
+  if (forest_unchanged) {
+    // Patch-only batch: only num_edges and the version moved. Share the
+    // previous snapshot's forest instead of paying three O(n) copies.
+    forest = snapshot_.load(std::memory_order_relaxed)->forest();
+  } else {
+    auto fresh = std::make_shared<DfsSnapshot::Forest>();
+    fresh->parent.assign(dfs_.parent().begin(), dfs_.parent().end());
+    fresh->alive.assign(g.alive().begin(), g.alive().end());
+    // The core's index was rebuilt by apply_batch an instant ago; copying it
+    // is cheaper than rebuilding and keeps publication allocation-only.
+    fresh->index = dfs_.tree();
+    fresh->num_vertices = g.num_vertices();
+    forest = std::move(fresh);
+  }
+  snapshot_.store(
+      std::make_shared<const DfsSnapshot>(version_, updates_applied_,
+                                          std::move(forest), g.num_edges()),
+      std::memory_order_release);
+}
+
+bool DfsService::feasible(const GraphUpdate& u, BatchDelta& delta) const {
+  const Graph& g = dfs_.graph();
+  const auto alive = [&](Vertex v) {
+    if (v < 0 || v >= delta.next_vertex) return false;
+    if (delta.dead.contains(v)) return false;
+    if (v < g.capacity()) return g.is_alive(v);
+    return true;  // assigned by an earlier insert of this batch
+  };
+  const auto has_edge = [&](Vertex a, Vertex b) {
+    const auto it = delta.edges.find(undirected_key(a, b));
+    if (it != delta.edges.end()) return it->second;
+    return g.has_edge(a, b);  // total: range-checked via liveness
+  };
+  switch (u.kind) {
+    case GraphUpdate::Kind::kInsertEdge:
+      if (u.u == u.v || !alive(u.u) || !alive(u.v) || has_edge(u.u, u.v)) {
+        return false;
+      }
+      delta.edges[undirected_key(u.u, u.v)] = true;
+      return true;
+    case GraphUpdate::Kind::kDeleteEdge:
+      if (u.u == u.v || !alive(u.u) || !alive(u.v) || !has_edge(u.u, u.v)) {
+        return false;
+      }
+      delta.edges[undirected_key(u.u, u.v)] = false;
+      return true;
+    case GraphUpdate::Kind::kInsertVertex: {
+      for (const Vertex n : u.neighbors) {
+        if (!alive(n)) return false;
+      }
+      for (std::size_t i = 0; i < u.neighbors.size(); ++i) {
+        for (std::size_t j = i + 1; j < u.neighbors.size(); ++j) {
+          if (u.neighbors[i] == u.neighbors[j]) return false;
+        }
+      }
+      // Record the incident edges the insert creates: later updates of the
+      // same batch may legitimately reference them.
+      for (const Vertex n : u.neighbors) {
+        delta.edges[undirected_key(delta.next_vertex, n)] = true;
+      }
+      ++delta.next_vertex;
+      return true;
+    }
+    case GraphUpdate::Kind::kDeleteVertex:
+      if (!alive(u.u)) return false;
+      delta.dead.insert(u.u);
+      return true;
+  }
+  return false;
+}
+
+void DfsService::writer_loop() {
+  std::vector<PendingUpdate> pending;
+  std::vector<GraphUpdate> batch;
+  std::vector<UpdateTicket> accepted;
+  for (;;) {
+    {
+      std::unique_lock lock(control_mu_);
+      control_cv_.wait(lock, [&] { return !paused_ || stopped_; });
+    }
+    pending.clear();
+    const std::size_t cap =
+        config_.max_batch == 0 ? dfs_.epoch_period() : config_.max_batch;
+    if (!queue_.drain(pending, cap)) break;  // closed and fully drained
+    {
+      // pause() may have landed while drain() was blocked on an empty queue:
+      // drained updates are held, un-applied, until resume (or stop).
+      std::unique_lock lock(control_mu_);
+      control_cv_.wait(lock, [&] { return !paused_ || stopped_; });
+    }
+
+    batch.clear();
+    accepted.clear();
+    BatchDelta delta;
+    delta.next_vertex = dfs_.graph().capacity();
+    std::uint64_t rejected = 0;
+    for (PendingUpdate& p : pending) {
+      if (feasible(p.update, delta)) {
+        batch.push_back(std::move(p.update));
+        accepted.push_back(p.ticket);
+      } else {
+        p.ticket.ack(UpdateTicket::kRejected);
+        ++rejected;
+      }
+    }
+
+    BatchStats batch_stats;
+    if (!batch.empty()) {
+      batch_stats = dfs_.apply_batch(batch);
+      updates_applied_ += batch.size();
+      ++version_;
+      publish(/*forest_unchanged=*/batch_stats.structural == 0);
+    }
+    // Acks go out after the publish, so a wait()er's snapshot() already
+    // reflects its update.
+    std::size_t next_new_vertex = 0;
+    for (std::size_t i = 0; i < accepted.size(); ++i) {
+      Vertex assigned = kNullVertex;
+      if (batch[i].kind == GraphUpdate::Kind::kInsertVertex) {
+        assigned = batch_stats.new_vertices[next_new_vertex++];
+      }
+      accepted[i].ack(version_, assigned);
+    }
+
+    {
+      std::lock_guard lock(control_mu_);
+      stats_.updates_rejected += rejected;
+      if (!batch.empty()) {
+        ++stats_.batches;
+        ++stats_.snapshots_published;
+        stats_.updates_applied += batch.size();
+        stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch, batch.size());
+        stats_.structural += batch_stats.structural;
+        stats_.back_edges += batch_stats.back_edges;
+        stats_.segments += batch_stats.segments;
+        stats_.index_rebuilds += batch_stats.index_rebuilds;
+        stats_.base_rebuilds += batch_stats.base_rebuilds;
+      }
+    }
+  }
+}
+
+}  // namespace pardfs::service

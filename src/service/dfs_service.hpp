@@ -1,0 +1,125 @@
+// Concurrent snapshot-serving layer over DynamicDfs — the read-mostly
+// deployment shape the paper's design is built for (ROADMAP north star).
+//
+// One writer thread owns the DynamicDfs instance. It drains the MPSC
+// UpdateQueue, coalescing whatever is pending (up to the epoch period) into
+// one batch, applies it through DynamicDfs::apply_batch — one combined
+// reduction, one engine pass, one O(n) index rebuild for the whole batch —
+// and publishes a fresh immutable DfsSnapshot through a single
+// std::atomic<std::shared_ptr>. Readers call snapshot() — one atomic load,
+// never blocked by the writer's batch work — and answer is_ancestor / lca /
+// path_to_root / root_of / same_component queries against a forest that
+// cannot change under them. The harder the update load, the larger the
+// coalesced batches and the better the per-update amortization: the service
+// degrades by batching more, not by queueing reads.
+//
+// Feasibility is checked at the service boundary (clients race each other:
+// by the time an update drains, another may have deleted its endpoint).
+// Infeasible updates are acknowledged with UpdateTicket::kRejected instead
+// of aborting the writer; accepted updates are acknowledged with the version
+// of the first snapshot that reflects them.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "core/dynamic_dfs.hpp"
+#include "service/snapshot.hpp"
+#include "service/update_queue.hpp"
+
+namespace pardfs::service {
+
+struct ServiceConfig {
+  std::size_t queue_capacity = 4096;
+  // Coalescing cap per drain; 0 = the core's epoch period (Θ(log n), the
+  // largest batch the Theorem 9 patch budget absorbs in one segment).
+  std::size_t max_batch = 0;
+  RerootStrategy strategy = RerootStrategy::kPaper;
+  // Start with the writer paused (updates queue up; nothing applies until
+  // resume()). Lets tests and benchmarks pin coalescing deterministically.
+  bool start_paused = false;
+};
+
+struct ServiceStats {
+  std::uint64_t batches = 0;             // apply_batch calls
+  std::uint64_t updates_applied = 0;     // accepted updates
+  std::uint64_t updates_rejected = 0;    // infeasible at drain time
+  std::uint64_t snapshots_published = 0; // excludes the constructor's
+  std::uint64_t max_batch = 0;           // largest coalesced batch so far
+  std::uint64_t structural = 0;          // accepted structural updates
+  std::uint64_t back_edges = 0;          // accepted patch-only updates
+  std::uint64_t segments = 0;            // combined engine passes
+  std::uint64_t index_rebuilds = 0;      // O(n) rebuilds across all batches
+  std::uint64_t base_rebuilds = 0;       // epoch rebases across all batches
+};
+
+class DfsService {
+ public:
+  explicit DfsService(Graph initial, ServiceConfig config = {});
+  ~DfsService();
+  DfsService(const DfsService&) = delete;
+  DfsService& operator=(const DfsService&) = delete;
+
+  // ---- reader side ---------------------------------------------------------
+  // The latest published snapshot: one atomic shared_ptr load, any number of
+  // concurrent callers, never blocked by in-flight batches.
+  SnapshotPtr snapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
+  // ---- producer side -------------------------------------------------------
+  // Blocks while the queue is full (backpressure); invalid ticket after stop.
+  UpdateTicket submit(GraphUpdate update) { return queue_.submit(std::move(update)); }
+  bool try_submit(GraphUpdate update, UpdateTicket* ticket) {
+    return queue_.try_submit(std::move(update), ticket);
+  }
+  // submit + wait: returns the publishing version or UpdateTicket::kRejected.
+  std::uint64_t apply_sync(GraphUpdate update);
+
+  // ---- lifecycle -----------------------------------------------------------
+  // After pause() returns, no further batch is applied or published until
+  // resume() (a batch already mid-apply completes; updates the writer had
+  // already drained are held back un-applied).
+  void pause();
+  void resume();
+  // Closes the queue, lets the writer drain every pending update (all
+  // tickets get acknowledged), and joins it. Idempotent.
+  void stop();
+
+  ServiceStats stats() const;
+  std::size_t queue_depth() const { return queue_.size(); }
+
+  // The underlying engine — owned by the writer thread while the service
+  // runs; only safe to inspect after stop().
+  const DynamicDfs& core() const { return dfs_; }
+
+ private:
+  void writer_loop();
+  // forest_unchanged: the batch was patch-only, so the previous snapshot's
+  // Forest is shared instead of re-copied (publication becomes O(1)).
+  void publish(bool forest_unchanged);
+  // Feasibility of `u` against the core graph plus the accepted prefix of
+  // the current batch (tracked in the small delta structures below).
+  struct BatchDelta;
+  bool feasible(const GraphUpdate& u, BatchDelta& delta) const;
+
+  ServiceConfig config_;
+  DynamicDfs dfs_;  // writer-thread-owned after construction
+  UpdateQueue queue_;
+  std::atomic<SnapshotPtr> snapshot_;
+  std::uint64_t version_ = 0;          // writer-only after construction
+  std::uint64_t updates_applied_ = 0;  // writer-only after construction
+
+  mutable std::mutex control_mu_;  // pause flag + stats
+  std::condition_variable control_cv_;
+  bool paused_ = false;
+  bool stopped_ = false;
+  ServiceStats stats_;
+
+  std::thread writer_;  // last member: starts after everything is ready
+};
+
+}  // namespace pardfs::service

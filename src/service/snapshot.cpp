@@ -1,0 +1,30 @@
+#include "service/snapshot.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace pardfs::service {
+
+DfsSnapshot::DfsSnapshot(std::uint64_t version, std::uint64_t updates_applied,
+                         std::shared_ptr<const Forest> forest,
+                         std::int64_t num_edges)
+    : version_(version),
+      updates_applied_(updates_applied),
+      forest_(std::move(forest)),
+      num_edges_(num_edges) {
+  PARDFS_CHECK(forest_ != nullptr);
+}
+
+std::vector<Vertex> DfsSnapshot::path_to_root(Vertex v) const {
+  std::vector<Vertex> out;
+  if (!contains(v)) return out;
+  out.reserve(static_cast<std::size_t>(forest_->index.depth(v)) + 1);
+  for (Vertex cur = v; cur != kNullVertex;
+       cur = forest_->parent[static_cast<std::size_t>(cur)]) {
+    out.push_back(cur);
+  }
+  return out;
+}
+
+}  // namespace pardfs::service

@@ -1,0 +1,99 @@
+// Immutable DFS-forest snapshot — the read side of the serving layer.
+//
+// A snapshot freezes one published version of the maintained forest: the
+// parent array, the liveness bitmap and a TreeIndex built over them, plus
+// the version number and the count of updates it absorbed. Snapshots are
+// shared as `shared_ptr<const DfsSnapshot>` and published RCU-style through
+// one `std::atomic<std::shared_ptr>` (see dfs_service.hpp): readers load the
+// pointer once and then answer any number of queries against a forest that
+// can never change underneath them — consistency is structural, not locked.
+//
+// Unlike the core classes (which PARDFS_CHECK their preconditions), every
+// query here is total: snapshots sit on the service boundary, where clients
+// hold ids that may have been deleted — or never existed — by the time the
+// query runs. Out-of-range and dead vertices yield false / kNullVertex /
+// empty rather than aborting the server.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/edge.hpp"
+#include "tree/tree_index.hpp"
+
+namespace pardfs::service {
+
+class DfsSnapshot {
+ public:
+  // The forest-shaped part of a snapshot. Patch-only batches (back-edge
+  // inserts/deletes) change num_edges and the version but not the forest,
+  // so consecutive snapshots share one immutable Forest instead of paying
+  // three O(n) copies per publish (see DfsService::publish).
+  struct Forest {
+    std::vector<Vertex> parent;
+    std::vector<std::uint8_t> alive;
+    TreeIndex index;  // must be built over exactly this parent/alive pair
+    Vertex num_vertices = 0;
+  };
+
+  DfsSnapshot(std::uint64_t version, std::uint64_t updates_applied,
+              std::shared_ptr<const Forest> forest, std::int64_t num_edges);
+
+  // ---- identity ------------------------------------------------------------
+  std::uint64_t version() const { return version_; }
+  // Updates absorbed since the service started, i.e. the length of the
+  // accepted-update prefix this snapshot reflects (lets tests replay a
+  // mirror graph and validate the forest of any published version).
+  std::uint64_t updates_applied() const { return updates_applied_; }
+  Vertex capacity() const {
+    return static_cast<Vertex>(forest_->parent.size());
+  }
+  Vertex num_vertices() const { return forest_->num_vertices; }
+  std::int64_t num_edges() const { return num_edges_; }
+  std::span<const Vertex> parent() const { return forest_->parent; }
+  const TreeIndex& tree() const { return forest_->index; }
+  const std::shared_ptr<const Forest>& forest() const { return forest_; }
+
+  // ---- queries (all total; see header comment) -----------------------------
+  bool contains(Vertex v) const {
+    return v >= 0 && v < capacity() &&
+           forest_->alive[static_cast<std::size_t>(v)] != 0;
+  }
+  Vertex parent_of(Vertex v) const {
+    return contains(v) ? forest_->parent[static_cast<std::size_t>(v)]
+                       : kNullVertex;
+  }
+  Vertex root_of(Vertex v) const {
+    return contains(v) ? forest_->index.root_of(v) : kNullVertex;
+  }
+  std::int32_t depth(Vertex v) const {
+    return contains(v) ? forest_->index.depth(v) : -1;
+  }
+  std::int32_t subtree_size(Vertex v) const {
+    return contains(v) ? forest_->index.size(v) : 0;
+  }
+  bool is_ancestor(Vertex a, Vertex d) const {
+    return contains(a) && contains(d) && forest_->index.is_ancestor(a, d);
+  }
+  Vertex lca(Vertex u, Vertex v) const {
+    return contains(u) && contains(v) ? forest_->index.lca(u, v) : kNullVertex;
+  }
+  bool same_component(Vertex u, Vertex v) const {
+    return contains(u) && contains(v) &&
+           forest_->index.root_of(u) == forest_->index.root_of(v);
+  }
+  // Vertices from v up to its tree root, inclusive; empty if v is unknown.
+  std::vector<Vertex> path_to_root(Vertex v) const;
+
+ private:
+  std::uint64_t version_;
+  std::uint64_t updates_applied_;
+  std::shared_ptr<const Forest> forest_;
+  std::int64_t num_edges_;
+};
+
+using SnapshotPtr = std::shared_ptr<const DfsSnapshot>;
+
+}  // namespace pardfs::service

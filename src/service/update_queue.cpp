@@ -1,0 +1,84 @@
+#include "service/update_queue.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace pardfs::service {
+
+std::uint64_t UpdateTicket::wait() const {
+  PARDFS_CHECK(valid());
+  // C++20 atomic wait: blocks until result leaves the pending sentinel.
+  state_->result.wait(0, std::memory_order_acquire);
+  return state_->result.load(std::memory_order_acquire);
+}
+
+std::optional<std::uint64_t> UpdateTicket::poll() const {
+  if (!valid()) return std::nullopt;
+  const std::uint64_t r = state_->result.load(std::memory_order_acquire);
+  if (r == 0) return std::nullopt;
+  return r;
+}
+
+void UpdateTicket::ack(std::uint64_t result, Vertex vertex) const {
+  PARDFS_CHECK(valid() && result != 0);
+  state_->vertex.store(vertex, std::memory_order_release);
+  state_->result.store(result, std::memory_order_release);
+  state_->result.notify_all();
+}
+
+UpdateQueue::UpdateQueue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+UpdateTicket UpdateQueue::submit(GraphUpdate update) {
+  std::unique_lock lock(mu_);
+  not_full_.wait(lock, [&] { return fifo_.size() < capacity_ || closed_; });
+  if (closed_) return {};
+  UpdateTicket ticket = UpdateTicket::make();
+  fifo_.push_back({std::move(update), ticket});
+  lock.unlock();
+  not_empty_.notify_one();
+  return ticket;
+}
+
+bool UpdateQueue::try_submit(GraphUpdate update, UpdateTicket* ticket) {
+  {
+    std::lock_guard lock(mu_);
+    if (closed_ || fifo_.size() >= capacity_) return false;
+    *ticket = UpdateTicket::make();
+    fifo_.push_back({std::move(update), *ticket});
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+bool UpdateQueue::drain(std::vector<PendingUpdate>& out, std::size_t max_items) {
+  std::unique_lock lock(mu_);
+  not_empty_.wait(lock, [&] { return !fifo_.empty() || closed_; });
+  if (fifo_.empty()) return false;  // closed and drained
+  const std::size_t take = std::min(max_items == 0 ? fifo_.size() : max_items,
+                                    fifo_.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    out.push_back(std::move(fifo_.front()));
+    fifo_.pop_front();
+  }
+  lock.unlock();
+  not_full_.notify_all();
+  return true;
+}
+
+void UpdateQueue::close() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+std::size_t UpdateQueue::size() const {
+  std::lock_guard lock(mu_);
+  return fifo_.size();
+}
+
+}  // namespace pardfs::service

@@ -1,0 +1,108 @@
+// MPSC update queue with backpressure and per-update acknowledgement.
+//
+// Any number of producer threads submit GraphUpdates; the single consumer
+// (the DfsService writer thread) drains them in FIFO order, many at a time —
+// that drain is what turns concurrent single updates into the batches
+// DynamicDfs::apply_batch amortizes. A bounded ring provides backpressure:
+// submit() blocks while the queue is full, so producers can never outrun the
+// writer by more than `capacity` updates.
+//
+// Each accepted submit returns an UpdateTicket. The writer acknowledges it
+// after the update's batch is applied and its snapshot published; wait()
+// then yields the snapshot version that first reflects the update (or
+// UpdateTicket::kRejected if the service refused it as infeasible). Tickets
+// use C++20 atomic wait/notify — no mutex is shared between producers
+// waiting on acks and the writer publishing them.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/reduction.hpp"
+
+namespace pardfs::service {
+
+class UpdateQueue;
+class DfsService;
+
+class UpdateTicket {
+ public:
+  // Ack value for updates the service refused (infeasible against the state
+  // they would have applied to). Real versions are small positive numbers.
+  static constexpr std::uint64_t kRejected = ~std::uint64_t{0};
+
+  UpdateTicket() = default;
+  bool valid() const { return state_ != nullptr; }
+  bool done() const {
+    return valid() && state_->result.load(std::memory_order_acquire) != 0;
+  }
+  // Blocks until acknowledged; returns the publishing snapshot version, or
+  // kRejected. Must not be called on an invalid ticket.
+  std::uint64_t wait() const;
+  // Non-blocking probe; empty while unacknowledged.
+  std::optional<std::uint64_t> poll() const;
+  // For kInsertVertex updates: the id the core assigned, available once the
+  // ticket is acknowledged; kNullVertex otherwise.
+  Vertex assigned_vertex() const {
+    return valid() ? state_->vertex.load(std::memory_order_acquire) : kNullVertex;
+  }
+
+ private:
+  friend class UpdateQueue;
+  friend class DfsService;
+  struct State {
+    std::atomic<std::uint64_t> result{0};  // 0 = pending
+    std::atomic<Vertex> vertex{kNullVertex};
+  };
+  static UpdateTicket make() {
+    UpdateTicket t;
+    t.state_ = std::make_shared<State>();
+    return t;
+  }
+  void ack(std::uint64_t result, Vertex vertex = kNullVertex) const;
+
+  std::shared_ptr<State> state_;
+};
+
+struct PendingUpdate {
+  GraphUpdate update;
+  UpdateTicket ticket;
+};
+
+class UpdateQueue {
+ public:
+  explicit UpdateQueue(std::size_t capacity);
+
+  // Producer side. submit() blocks while the queue is full (backpressure)
+  // and returns an invalid ticket if the queue was closed; try_submit()
+  // returns false instead of blocking.
+  UpdateTicket submit(GraphUpdate update);
+  bool try_submit(GraphUpdate update, UpdateTicket* ticket);
+
+  // Consumer side: blocks until at least one update is pending (or the
+  // queue closes), then moves up to max_items of the FIFO into `out`
+  // (appended). Returns false only when closed and fully drained.
+  bool drain(std::vector<PendingUpdate>& out, std::size_t max_items);
+
+  // After close() producers get failures, the consumer drains the remnant.
+  void close();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<PendingUpdate> fifo_;
+  bool closed_ = false;
+};
+
+}  // namespace pardfs::service

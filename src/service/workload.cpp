@@ -1,0 +1,116 @@
+#include "service/workload.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace pardfs::service {
+
+const char* scenario_name(Scenario s) {
+  switch (s) {
+    case Scenario::kReadHeavy: return "read_heavy";
+    case Scenario::kInsertChurn: return "insert_churn";
+    case Scenario::kAdversarialStar: return "adversarial_star";
+    case Scenario::kSocialMix: return "social_mix";
+  }
+  return "unknown";
+}
+
+double read_fraction(Scenario s) {
+  switch (s) {
+    case Scenario::kReadHeavy: return 0.95;
+    case Scenario::kInsertChurn: return 0.50;
+    case Scenario::kAdversarialStar: return 0.50;
+    case Scenario::kSocialMix: return 0.90;
+  }
+  return 0.5;
+}
+
+Graph make_initial_graph(const WorkloadSpec& spec) {
+  Rng rng(spec.seed * 0x9E3779B97F4A7C15ULL + 1);
+  const Vertex n = std::max<Vertex>(spec.n, 8);
+  switch (spec.scenario) {
+    case Scenario::kReadHeavy:
+      return gen::random_connected(n, 2 * static_cast<std::int64_t>(n), rng);
+    case Scenario::kInsertChurn:
+      // Starts small; the stream grows it (vertex arrivals carry edges).
+      return gen::random_connected(std::max<Vertex>(n / 4, 8),
+                                   static_cast<std::int64_t>(n) / 4, rng);
+    case Scenario::kAdversarialStar: {
+      // Star plus a leaf ring: deleting a center spoke forces a Θ(n)-subtree
+      // reroot through the ring instead of just detaching a leaf.
+      Graph g = gen::star(n);
+      for (Vertex i = 1; i + 1 < n; ++i) g.add_edge(i, i + 1);
+      if (n > 3) g.add_edge(n - 1, 1);
+      return g;
+    }
+    case Scenario::kSocialMix:
+      return gen::barabasi_albert(n, 4, rng);
+  }
+  return gen::path(n);
+}
+
+WorkloadDriver::WorkloadDriver(WorkloadSpec spec)
+    : spec_(spec),
+      mirror_(make_initial_graph(spec)),
+      rng_(spec.seed * 0x2545F4914F6CDD1DULL + 7) {
+  // make_initial_graph clamps tiny n; keep the stored spec consistent with
+  // the mirror so scenario arithmetic (spoke rotation) never divides by the
+  // unclamped value.
+  spec_.n = std::max<Vertex>(spec_.n, 8);
+}
+
+GraphUpdate WorkloadDriver::next_mixed(double w_insert_edge,
+                                       double w_delete_edge,
+                                       double w_insert_vertex,
+                                       double w_delete_vertex) {
+  gen::Update u;
+  const bool ok = gen::random_update(mirror_, rng_, w_insert_edge,
+                                     w_delete_edge, w_insert_vertex,
+                                     w_delete_vertex, u);
+  PARDFS_CHECK_MSG(ok, "workload stream became infeasible");
+  gen::apply_update(mirror_, u);
+  switch (u.kind) {
+    case gen::UpdateKind::kInsertEdge:
+      return GraphUpdate::insert_edge(u.u, u.v);
+    case gen::UpdateKind::kDeleteEdge:
+      return GraphUpdate::delete_edge(u.u, u.v);
+    case gen::UpdateKind::kInsertVertex:
+      return GraphUpdate::insert_vertex(std::move(u.neighbors));
+    case gen::UpdateKind::kDeleteVertex:
+      return GraphUpdate::delete_vertex(u.u);
+  }
+  return GraphUpdate::insert_edge(u.u, u.v);
+}
+
+GraphUpdate WorkloadDriver::next() {
+  ++step_;
+  switch (spec_.scenario) {
+    case Scenario::kReadHeavy:
+      return next_mixed(1.0, 1.0, 0.0, 0.0);
+    case Scenario::kInsertChurn:
+      return next_mixed(3.0, 1.0, 0.8, 0.1);
+    case Scenario::kAdversarialStar: {
+      // Rotate over the spokes, toggling them; every few steps a random edge
+      // op keeps the ring churning too. Vertices are never deleted (the
+      // center must stay the hub).
+      if (step_ % 7 == 0) return next_mixed(1.0, 1.0, 0.0, 0.0);
+      const Vertex n0 = spec_.n;
+      const Vertex leaf = 1 + static_cast<Vertex>((step_ * 5) % (n0 - 1));
+      if (!mirror_.is_alive(0) || !mirror_.is_alive(leaf)) {
+        return next_mixed(1.0, 1.0, 0.0, 0.0);
+      }
+      if (mirror_.has_edge(0, leaf)) {
+        mirror_.remove_edge(0, leaf);
+        return GraphUpdate::delete_edge(0, leaf);
+      }
+      mirror_.add_edge(0, leaf);
+      return GraphUpdate::insert_edge(0, leaf);
+    }
+    case Scenario::kSocialMix:
+      return next_mixed(1.5, 1.0, 0.5, 0.3);
+  }
+  return next_mixed(1.0, 1.0, 0.0, 0.0);
+}
+
+}  // namespace pardfs::service

@@ -1,0 +1,75 @@
+// Service workload scenarios — the shared driver behind the stress tests,
+// examples and bench_service, so all three exercise the same traffic shapes:
+//
+//   * read-heavy        — dense-ish connected graph, light edge flip churn;
+//                         the RCU sweet spot (95% reads).
+//   * insert-churn      — growing graph, insert-dominated mix with vertex
+//                         arrivals; stresses batch segmentation and the
+//                         oracle's Theorem 9 patch lists.
+//   * adversarial-star  — star center edge churn over a leaf ring: every
+//                         structural update reroots Θ(n) subtrees, the case
+//                         where sequential rerooting degenerates (§4).
+//   * social-mix        — Barabási–Albert power-law graph under a mixed
+//                         update stream; hub churn plus vertex arrivals and
+//                         departures, the "millions of users" shape.
+//
+// The driver owns a mirror graph and only emits updates feasible against it,
+// so a single producer can feed a DfsService (or DynamicDfs::apply_batch
+// directly) without ever tripping a rejection. Fully deterministic per seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/reduction.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace pardfs::service {
+
+enum class Scenario : std::uint8_t {
+  kReadHeavy,
+  kInsertChurn,
+  kAdversarialStar,
+  kSocialMix,
+};
+
+const char* scenario_name(Scenario s);
+
+// Fraction of client operations that are snapshot reads in the scenario's
+// canonical mix (benchmarks interleave reads accordingly).
+double read_fraction(Scenario s);
+
+struct WorkloadSpec {
+  Scenario scenario = Scenario::kReadHeavy;
+  Vertex n = 1024;  // initial graph scale
+  std::uint64_t seed = 1;
+};
+
+Graph make_initial_graph(const WorkloadSpec& spec);
+
+class WorkloadDriver {
+ public:
+  explicit WorkloadDriver(WorkloadSpec spec);
+
+  const WorkloadSpec& spec() const { return spec_; }
+  // The mirror after all updates generated so far (what the served graph
+  // looks like once every emitted update is applied).
+  const Graph& graph() const { return mirror_; }
+
+  // The next update of the stream; always feasible against the mirror, which
+  // it is immediately applied to.
+  GraphUpdate next();
+
+ private:
+  GraphUpdate next_mixed(double w_insert_edge, double w_delete_edge,
+                         double w_insert_vertex, double w_delete_vertex);
+
+  WorkloadSpec spec_;
+  Graph mirror_;
+  Rng rng_;
+  std::uint64_t step_ = 0;
+};
+
+}  // namespace pardfs::service

@@ -1,0 +1,288 @@
+// DynamicDfs::apply_batch — the combined k-update reduction (Theorem 13's
+// batch handling): validity after every batch, equivalence with the
+// sequential per-update path at the graph level, and the amortization pins
+// (one index rebuild per segment, zero for pure back-edge batches).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/dynamic_dfs.hpp"
+#include "graph/generators.hpp"
+#include "tree/validation.hpp"
+#include "util/random.hpp"
+
+namespace pardfs {
+namespace {
+
+GraphUpdate to_graph_update(const gen::Update& u) {
+  switch (u.kind) {
+    case gen::UpdateKind::kInsertEdge:
+      return GraphUpdate::insert_edge(u.u, u.v);
+    case gen::UpdateKind::kDeleteEdge:
+      return GraphUpdate::delete_edge(u.u, u.v);
+    case gen::UpdateKind::kInsertVertex:
+      return GraphUpdate::insert_vertex(u.neighbors);
+    case gen::UpdateKind::kDeleteVertex:
+      return GraphUpdate::delete_vertex(u.u);
+  }
+  return GraphUpdate::insert_edge(u.u, u.v);
+}
+
+// A feasible mixed update stream, pre-generated against a mirror graph.
+std::vector<GraphUpdate> make_stream(const Graph& initial, int count,
+                                     std::uint64_t seed, double ins_v = 0.2,
+                                     double del_v = 0.2) {
+  Graph mirror = initial;
+  Rng rng(seed);
+  std::vector<GraphUpdate> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    gen::Update u;
+    if (!gen::random_update(mirror, rng, 1.0, 1.0, ins_v, del_v, u)) break;
+    gen::apply_update(mirror, u);
+    out.push_back(to_graph_update(u));
+  }
+  return out;
+}
+
+TEST(Batch, SingleIndexRebuildForStructuralEdgeBatch) {
+  Rng rng(101);
+  Graph g = gen::random_connected(256, 700, rng);
+  DynamicDfs dfs(std::move(g));
+  const std::size_t base_rebuilds = dfs.epoch_rebuilds();
+  const std::size_t index_rebuilds = dfs.index_rebuilds();
+
+  // k tree-edge deletions (always structural), k <= epoch period.
+  std::vector<GraphUpdate> batch;
+  Graph mirror = dfs.graph();
+  std::vector<Vertex> parent(dfs.parent().begin(), dfs.parent().end());
+  for (Vertex v = 0; v < dfs.graph().capacity() &&
+                     batch.size() < std::min<std::size_t>(dfs.epoch_period(), 6);
+       ++v) {
+    const Vertex p = parent[static_cast<std::size_t>(v)];
+    if (p == kNullVertex) continue;
+    batch.push_back(GraphUpdate::delete_edge(p, v));
+    mirror.remove_edge(p, v);
+  }
+  ASSERT_GE(batch.size(), 2u);
+
+  const BatchStats stats = dfs.apply_batch(batch);
+  EXPECT_EQ(stats.updates, batch.size());
+  EXPECT_EQ(stats.structural, batch.size());
+  EXPECT_EQ(stats.segments, 1u) << "one combined pass for the whole batch";
+  EXPECT_EQ(stats.index_rebuilds, 1u) << "exactly one O(n) index rebuild";
+  EXPECT_EQ(dfs.index_rebuilds(), index_rebuilds + 1);
+  EXPECT_EQ(dfs.epoch_rebuilds(), base_rebuilds) << "no epoch close forced";
+  EXPECT_EQ(dfs.graph().num_edges(), mirror.num_edges());
+  const auto val = validate_dfs_forest(dfs.graph(), dfs.parent());
+  EXPECT_TRUE(val.ok) << val.reason;
+}
+
+TEST(Batch, PureBackEdgeBatchRebuildsNothing) {
+  // On a path graph every (a, b) with a < b is an ancestor pair.
+  DynamicDfs dfs(gen::path(64));
+  const std::size_t index_rebuilds = dfs.index_rebuilds();
+  const std::size_t base_rebuilds = dfs.epoch_rebuilds();
+  const std::vector<Vertex> before(dfs.parent().begin(), dfs.parent().end());
+  std::vector<GraphUpdate> batch;
+  for (Vertex i = 0; i < 8; ++i) {
+    batch.push_back(GraphUpdate::insert_edge(i, static_cast<Vertex>(40 + i)));
+  }
+  const BatchStats stats = dfs.apply_batch(batch);
+  EXPECT_EQ(stats.back_edges, batch.size());
+  EXPECT_EQ(stats.structural, 0u);
+  EXPECT_EQ(stats.segments, 0u);
+  EXPECT_EQ(stats.index_rebuilds, 0u);
+  EXPECT_EQ(dfs.index_rebuilds(), index_rebuilds);
+  EXPECT_EQ(dfs.epoch_rebuilds(), base_rebuilds);
+  EXPECT_EQ(before, std::vector<Vertex>(dfs.parent().begin(), dfs.parent().end()));
+  EXPECT_TRUE(validate_dfs_forest(dfs.graph(), dfs.parent()).ok);
+}
+
+TEST(Batch, MixedStreamValidAfterEveryBatch) {
+  for (const std::size_t batch_size : {2u, 3u, 5u, 8u, 16u}) {
+    Rng rng(2026 + batch_size);
+    Graph g = gen::random_connected(150, 450, rng);
+    const std::vector<GraphUpdate> stream =
+        make_stream(g, 240, 77 * batch_size);
+    DynamicDfs dfs(std::move(g));
+    for (std::size_t i = 0; i < stream.size(); i += batch_size) {
+      const std::size_t len = std::min(batch_size, stream.size() - i);
+      dfs.apply_batch(std::span(stream).subspan(i, len));
+      const auto val = validate_dfs_forest(dfs.graph(), dfs.parent());
+      ASSERT_TRUE(val.ok) << "batch_size " << batch_size << " at update " << i
+                          << ": " << val.reason;
+    }
+  }
+}
+
+TEST(Batch, MatchesSequentialGraphState) {
+  Rng rng(404);
+  Graph g = gen::random_connected(100, 260, rng);
+  const std::vector<GraphUpdate> stream = make_stream(g, 160, 505);
+  DynamicDfs batched(g);
+  DynamicDfs sequential(g);
+  for (std::size_t i = 0; i < stream.size(); i += 7) {
+    const std::size_t len = std::min<std::size_t>(7, stream.size() - i);
+    const auto chunk = std::span(stream).subspan(i, len);
+    batched.apply_batch(chunk);
+    for (const GraphUpdate& u : chunk) sequential.apply(u);
+    ASSERT_EQ(batched.graph().num_vertices(), sequential.graph().num_vertices());
+    ASSERT_EQ(batched.graph().num_edges(), sequential.graph().num_edges());
+    // Both forests are valid DFS forests of the same graph (they may differ:
+    // a DFS forest is not unique).
+    ASSERT_TRUE(validate_dfs_forest(batched.graph(), batched.parent()).ok);
+    ASSERT_TRUE(validate_dfs_forest(sequential.graph(), sequential.parent()).ok);
+  }
+}
+
+TEST(Batch, VertexInsertsSegmentTheBatch) {
+  DynamicDfs dfs(gen::path(10));
+  std::vector<GraphUpdate> batch;
+  batch.push_back(GraphUpdate::delete_edge(3, 4));
+  batch.push_back(GraphUpdate::delete_edge(6, 7));
+  batch.push_back(GraphUpdate::insert_vertex({2, 8}));
+  batch.push_back(GraphUpdate::insert_vertex({}));
+  const BatchStats stats = dfs.apply_batch(batch);
+  ASSERT_EQ(stats.new_vertices.size(), 2u);
+  EXPECT_EQ(stats.new_vertices[0], 10);
+  EXPECT_EQ(stats.new_vertices[1], 11);
+  EXPECT_TRUE(dfs.graph().has_edge(10, 2));
+  EXPECT_TRUE(dfs.graph().has_edge(10, 8));
+  EXPECT_EQ(dfs.parent_of(11), kNullVertex);
+  EXPECT_TRUE(validate_dfs_forest(dfs.graph(), dfs.parent()).ok);
+}
+
+TEST(Batch, EdgeToFreshVertexInSameBatch) {
+  // An edge update may reference the id a vertex insert earlier in the same
+  // batch assigned (ids are deterministic: capacity order).
+  DynamicDfs dfs(gen::path(6));
+  std::vector<GraphUpdate> batch;
+  batch.push_back(GraphUpdate::insert_vertex({0}));  // id 6
+  batch.push_back(GraphUpdate::insert_edge(6, 3));
+  batch.push_back(GraphUpdate::insert_edge(6, 5));
+  const BatchStats stats = dfs.apply_batch(batch);
+  ASSERT_EQ(stats.new_vertices.size(), 1u);
+  EXPECT_EQ(stats.new_vertices[0], 6);
+  EXPECT_TRUE(dfs.graph().has_edge(6, 3));
+  EXPECT_TRUE(dfs.graph().has_edge(6, 5));
+  EXPECT_TRUE(validate_dfs_forest(dfs.graph(), dfs.parent()).ok);
+}
+
+TEST(Batch, CrossTreeMergeAndSplitInOneBatch) {
+  // Two components; one batch deletes a bridge inside the first and inserts
+  // a merging edge to the second.
+  Graph g(8);
+  for (Vertex i = 0; i + 1 < 4; ++i) g.add_edge(i, i + 1);      // 0-1-2-3
+  for (Vertex i = 4; i + 1 < 8; ++i) g.add_edge(i, i + 1);      // 4-5-6-7
+  g.add_edge(0, 2);                                             // extra cycle edge
+  DynamicDfs dfs(std::move(g));
+  std::vector<GraphUpdate> batch;
+  batch.push_back(GraphUpdate::delete_edge(2, 3));  // splits the tail
+  batch.push_back(GraphUpdate::insert_edge(1, 5));  // merges the two trees
+  batch.push_back(GraphUpdate::insert_edge(3, 6));  // reattaches the tail
+  dfs.apply_batch(batch);
+  const auto val = validate_dfs_forest(dfs.graph(), dfs.parent());
+  ASSERT_TRUE(val.ok) << val.reason;
+  EXPECT_EQ(dfs.root_of(0), dfs.root_of(5));
+  EXPECT_EQ(dfs.root_of(0), dfs.root_of(3));
+}
+
+TEST(Batch, DeleteThenReinsertSameTreeEdge) {
+  DynamicDfs dfs(gen::path(12));
+  std::vector<GraphUpdate> batch;
+  batch.push_back(GraphUpdate::delete_edge(5, 6));
+  batch.push_back(GraphUpdate::insert_edge(5, 6));
+  batch.push_back(GraphUpdate::delete_edge(8, 9));
+  dfs.apply_batch(batch);
+  const auto val = validate_dfs_forest(dfs.graph(), dfs.parent());
+  ASSERT_TRUE(val.ok) << val.reason;
+  EXPECT_TRUE(dfs.graph().has_edge(5, 6));
+  EXPECT_EQ(dfs.root_of(0), dfs.root_of(6));
+  EXPECT_NE(dfs.root_of(0), dfs.root_of(9));
+}
+
+TEST(Batch, AdversarialStarChurn) {
+  // Star center deletions force Theta(n)-subtree reroots; batches must stay
+  // valid while whole levels of leaves re-attach.
+  const Vertex n = 64;
+  Graph g = gen::star(n);
+  for (Vertex i = 1; i + 1 < n; ++i) g.add_edge(i, i + 1);  // leaf ring
+  DynamicDfs dfs(std::move(g));
+  for (int round = 0; round < 6; ++round) {
+    std::vector<GraphUpdate> batch;
+    for (Vertex i = 1; i <= 5; ++i) {
+      const Vertex leaf = static_cast<Vertex>((round * 5 + i) % (n - 1) + 1);
+      if (dfs.graph().has_edge(0, leaf)) {
+        batch.push_back(GraphUpdate::delete_edge(0, leaf));
+      } else {
+        batch.push_back(GraphUpdate::insert_edge(0, leaf));
+      }
+    }
+    dfs.apply_batch(batch);
+    const auto val = validate_dfs_forest(dfs.graph(), dfs.parent());
+    ASSERT_TRUE(val.ok) << "round " << round << ": " << val.reason;
+  }
+}
+
+TEST(Batch, ManyBatchesCrossEpochBoundaries) {
+  Rng rng(9090);
+  Graph g = gen::random_connected(128, 380, rng);
+  const std::vector<GraphUpdate> stream = make_stream(g, 300, 42);
+  DynamicDfs dfs(std::move(g));
+  const std::size_t rebuilds0 = dfs.epoch_rebuilds();
+  std::size_t applied = 0;
+  for (std::size_t i = 0; i < stream.size(); i += 6) {
+    const std::size_t len = std::min<std::size_t>(6, stream.size() - i);
+    dfs.apply_batch(std::span(stream).subspan(i, len));
+    applied += len;
+    ASSERT_TRUE(validate_dfs_forest(dfs.graph(), dfs.parent()).ok);
+  }
+  EXPECT_GT(dfs.epoch_rebuilds(), rebuilds0) << "epochs must still roll over";
+  EXPECT_LT(dfs.epoch_rebuilds() - rebuilds0, applied / 2)
+      << "rebuilds stay amortized under batching";
+}
+
+TEST(Batch, SequentialStrategyHandlesBatchesToo) {
+  Rng rng(31337);
+  Graph g = gen::random_connected(80, 200, rng);
+  const std::vector<GraphUpdate> stream = make_stream(g, 120, 8);
+  DynamicDfs dfs(std::move(g), RerootStrategy::kSequentialL);
+  for (std::size_t i = 0; i < stream.size(); i += 5) {
+    const std::size_t len = std::min<std::size_t>(5, stream.size() - i);
+    dfs.apply_batch(std::span(stream).subspan(i, len));
+    ASSERT_TRUE(validate_dfs_forest(dfs.graph(), dfs.parent()).ok);
+  }
+}
+
+TEST(Batch, DrainWholeGraphInBatches) {
+  Rng rng(555);
+  Graph g = gen::random_connected(40, 90, rng);
+  DynamicDfs dfs(std::move(g));
+  while (dfs.graph().num_edges() > 0) {
+    const auto edges = dfs.graph().edges();
+    std::vector<GraphUpdate> batch;
+    for (std::size_t i = 0; i < edges.size() && batch.size() < 4; ++i) {
+      batch.push_back(GraphUpdate::delete_edge(edges[i].u, edges[i].v));
+    }
+    dfs.apply_batch(batch);
+    ASSERT_TRUE(validate_dfs_forest(dfs.graph(), dfs.parent()).ok);
+  }
+  std::vector<GraphUpdate> kill;
+  for (Vertex v = 0; v < 40; ++v) {
+    if (dfs.graph().is_alive(v)) kill.push_back(GraphUpdate::delete_vertex(v));
+  }
+  dfs.apply_batch(kill);
+  EXPECT_EQ(dfs.graph().num_vertices(), 0);
+}
+
+TEST(Batch, EmptyBatchIsANoop) {
+  DynamicDfs dfs(gen::path(5));
+  const BatchStats stats = dfs.apply_batch({});
+  EXPECT_EQ(stats.updates, 0u);
+  EXPECT_EQ(stats.index_rebuilds, 0u);
+  EXPECT_TRUE(validate_dfs_forest(dfs.graph(), dfs.parent()).ok);
+}
+
+}  // namespace
+}  // namespace pardfs

@@ -162,6 +162,63 @@ TEST(DynamicDfs, EmptyGraphGrowsFromNothing) {
   EXPECT_TRUE(dfs.graph().has_edge(a, b));
 }
 
+TEST(DynamicDfs, MoveConstructThenUpdateThenValidate) {
+  // The embedded oracle holds a pointer to the base-tree index; the move
+  // constructor must re-point it at the moved-into instance's base index, or
+  // the first oracle-driven update would read freed memory.
+  Rng rng(60);
+  DynamicDfs source(gen::random_connected(96, 240, rng));
+  // A structural update first, so the current tree diverges from the base
+  // and post-move queries exercise the Theorem 9 decomposition too.
+  Vertex child = kNullVertex;
+  for (Vertex v = 0; v < source.graph().capacity(); ++v) {
+    if (source.parent_of(v) != kNullVertex) {
+      child = v;
+      break;
+    }
+  }
+  ASSERT_NE(child, kNullVertex);
+  source.delete_edge(source.parent_of(child), child);
+  const auto state = std::vector<Vertex>(source.parent().begin(),
+                                         source.parent().end());
+  DynamicDfs moved(std::move(source));
+  EXPECT_EQ(state, std::vector<Vertex>(moved.parent().begin(),
+                                       moved.parent().end()));
+  for (int step = 0; step < 30; ++step) {
+    gen::Update u;
+    ASSERT_TRUE(gen::random_update(moved.graph(), rng, 1, 1, 0.2, 0.2, u));
+    switch (u.kind) {
+      case gen::UpdateKind::kInsertEdge: moved.insert_edge(u.u, u.v); break;
+      case gen::UpdateKind::kDeleteEdge: moved.delete_edge(u.u, u.v); break;
+      case gen::UpdateKind::kInsertVertex: moved.insert_vertex(u.neighbors); break;
+      case gen::UpdateKind::kDeleteVertex: moved.delete_vertex(u.u); break;
+    }
+    expect_valid(moved, "update after move construction");
+  }
+}
+
+TEST(DynamicDfs, MoveAssignThenUpdateThenValidate) {
+  Rng rng(61);
+  DynamicDfs source(gen::random_connected(80, 200, rng));
+  source.delete_vertex(5);  // diverge current tree from base pre-move
+  DynamicDfs target(gen::path(4));
+  target = std::move(source);
+  EXPECT_EQ(target.graph().num_vertices(), 79);
+  // Mixed updates across at least one epoch boundary: the rebase path
+  // (oracle rebuild over the moved base index) must work too.
+  for (std::size_t step = 0; step <= target.epoch_period() + 4; ++step) {
+    gen::Update u;
+    ASSERT_TRUE(gen::random_update(target.graph(), rng, 1, 1, 0.2, 0.2, u));
+    switch (u.kind) {
+      case gen::UpdateKind::kInsertEdge: target.insert_edge(u.u, u.v); break;
+      case gen::UpdateKind::kDeleteEdge: target.delete_edge(u.u, u.v); break;
+      case gen::UpdateKind::kInsertVertex: target.insert_vertex(u.neighbors); break;
+      case gen::UpdateKind::kDeleteVertex: target.delete_vertex(u.u); break;
+    }
+    expect_valid(target, "update after move assignment");
+  }
+}
+
 TEST(DynamicDfs, StatsReflectWork) {
   const Vertex n = 512;
   Graph g = gen::path(n);

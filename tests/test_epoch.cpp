@@ -92,6 +92,29 @@ TEST(Epoch, LongMixedStreamStaysValidAcrossEpochs) {
   EXPECT_LT(crossed, 500u) << "rebuilds must be amortized, not per-update";
 }
 
+TEST(Epoch, PeriodGrowsLogarithmically) {
+  // The epoch period is the amortization knob (DESIGN.md §5): it must track
+  // ceil(log2 n) exactly across four orders of magnitude — neither constant
+  // (which would over-rebuild) nor polynomial (which would let Theorem 9
+  // patch lists grow past their budget).
+  std::size_t previous = 0;
+  for (int k = 8; k <= 16; ++k) {
+    const Vertex n = static_cast<Vertex>(1) << k;
+    DynamicDfs dfs(gen::path(n));
+    EXPECT_EQ(dfs.epoch_period(), static_cast<std::size_t>(k))
+        << "n = 2^" << k << " must give a period of exactly k";
+    EXPECT_GT(dfs.epoch_period(), previous) << "monotone in n";
+    previous = dfs.epoch_period();
+  }
+  // Θ(log n), not Θ(n): squaring n (2^8 -> 2^16) only doubles the period.
+  DynamicDfs small(gen::path(1 << 8));
+  DynamicDfs large(gen::path(1 << 16));
+  EXPECT_EQ(large.epoch_period(), 2 * small.epoch_period());
+  // Off-power sizes round up: 2^10 + 1 vertices need 11-update epochs.
+  DynamicDfs odd(gen::path((1 << 10) + 1));
+  EXPECT_EQ(odd.epoch_period(), 11u);
+}
+
 TEST(Epoch, MovedInstanceKeepsEpochState) {
   Rng rng(3);
   DynamicDfs a(gen::random_connected(64, 128, rng));

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "baseline/static_dfs.hpp"
 #include "tree/validation.hpp"
 
@@ -67,6 +69,52 @@ TEST(Generators, GnpRoughDensity) {
   Graph g = gnp(400, 0.05, rng);
   const double expected = 0.05 * 400 * 399 / 2;
   EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.25);
+}
+
+TEST(Generators, BarabasiAlbertShape) {
+  Rng rng(8);
+  const Vertex n = 500;
+  const Vertex m = 3;
+  Graph g = barabasi_albert(n, m, rng);
+  EXPECT_EQ(g.num_vertices(), n);
+  // Clique seed on m+1 vertices, then m edges per arrival.
+  const std::int64_t expected =
+      static_cast<std::int64_t>(m + 1) * m / 2 +
+      static_cast<std::int64_t>(n - m - 1) * m;
+  EXPECT_EQ(g.num_edges(), expected);
+  for (Vertex v = 0; v < n; ++v) EXPECT_GE(g.degree(v), m);
+}
+
+TEST(Generators, BarabasiAlbertIsConnected) {
+  Rng rng(9);
+  Graph g = barabasi_albert(300, 2, rng);
+  const auto parent = static_dfs(g);
+  int roots = 0;
+  for (Vertex v = 0; v < 300; ++v) {
+    if (parent[static_cast<std::size_t>(v)] == kNullVertex) ++roots;
+  }
+  EXPECT_EQ(roots, 1);
+  EXPECT_TRUE(validate_dfs_forest(g, parent).ok);
+}
+
+TEST(Generators, BarabasiAlbertGrowsHubs) {
+  // Preferential attachment concentrates degree: the maximum degree must be
+  // far above the mean (for uniform attachment it stays near the mean).
+  Rng rng(10);
+  const Vertex n = 2000;
+  Graph g = barabasi_albert(n, 2, rng);
+  Vertex max_degree = 0;
+  for (Vertex v = 0; v < n; ++v) max_degree = std::max(max_degree, g.degree(v));
+  const double mean = 2.0 * static_cast<double>(g.num_edges()) / n;
+  EXPECT_GT(max_degree, static_cast<Vertex>(6.0 * mean))
+      << "power-law hubs expected (mean degree " << mean << ")";
+}
+
+TEST(Generators, BarabasiAlbertMinimumSizes) {
+  Rng rng(11);
+  Graph g = barabasi_albert(2, 1, rng);  // n == m + 1: just the seed clique
+  EXPECT_EQ(g.num_vertices(), 2);
+  EXPECT_EQ(g.num_edges(), 1);
 }
 
 TEST(Generators, RandomConnectedIsConnected) {

@@ -1,10 +1,16 @@
 // Long-run and degenerate-input stress: large graphs, drain-to-empty /
 // grow-to-clique trajectories, tiny graphs, heavy vertex churn — validity
-// asserted after every single update.
+// asserted after every single update — plus the service workload scenarios
+// pushed through the batch path and through a live DfsService.
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
 
 #include "core/dynamic_dfs.hpp"
 #include "graph/generators.hpp"
+#include "service/dfs_service.hpp"
+#include "service/workload.hpp"
 #include "tree/validation.hpp"
 #include "util/random.hpp"
 
@@ -129,6 +135,80 @@ TEST(Stress, AlternatingSplitMerge) {
     dfs.delete_edge(a, b);
     ASSERT_TRUE(validate_dfs_forest(dfs.graph(), dfs.parent()).ok);
   }
+}
+
+TEST(Stress, WorkloadScenariosThroughBatches) {
+  // Every service scenario, driven straight through apply_batch in chunks,
+  // validity checked after every batch.
+  using service::Scenario;
+  for (const Scenario scenario :
+       {Scenario::kReadHeavy, Scenario::kInsertChurn,
+        Scenario::kAdversarialStar, Scenario::kSocialMix}) {
+    const service::WorkloadSpec spec{scenario, 128,
+                                     41 + static_cast<std::uint64_t>(scenario)};
+    service::WorkloadDriver driver(spec);
+    DynamicDfs dfs(service::make_initial_graph(spec));
+    for (int batch = 0; batch < 25; ++batch) {
+      std::vector<GraphUpdate> updates;
+      for (int i = 0; i < 8; ++i) updates.push_back(driver.next());
+      dfs.apply_batch(updates);
+      const auto val = validate_dfs_forest(dfs.graph(), dfs.parent());
+      ASSERT_TRUE(val.ok) << service::scenario_name(scenario) << " batch "
+                          << batch << ": " << val.reason;
+    }
+    ASSERT_EQ(dfs.graph().num_edges(), driver.graph().num_edges());
+    ASSERT_EQ(dfs.graph().num_vertices(), driver.graph().num_vertices());
+  }
+}
+
+TEST(Stress, WorkloadDriverClampsTinyScales) {
+  // make_initial_graph clamps tiny n; the driver's scenario arithmetic must
+  // use the same clamp (an unclamped star spec of n=1 used to divide by 0).
+  for (Vertex n : {1, 2, 7}) {
+    const service::WorkloadSpec spec{service::Scenario::kAdversarialStar, n, 3};
+    service::WorkloadDriver driver(spec);
+    DynamicDfs dfs(service::make_initial_graph(spec));
+    for (int i = 0; i < 40; ++i) dfs.apply(driver.next());
+    ASSERT_TRUE(validate_dfs_forest(dfs.graph(), dfs.parent()).ok);
+    ASSERT_EQ(dfs.graph().num_edges(), driver.graph().num_edges());
+  }
+}
+
+TEST(Stress, ServiceSurvivesAdversarialStarWithReaders) {
+  // The worst-case scenario for rerooting, served live: 4 readers hammer
+  // snapshots while the star center churns. (The 8-reader consistency
+  // acceptance test lives in test_service.cpp; this one leans on volume.)
+  const service::WorkloadSpec spec{service::Scenario::kAdversarialStar, 192, 7};
+  service::WorkloadDriver driver(spec);
+  service::DfsService svc(service::make_initial_graph(spec));
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(99 + r);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const service::SnapshotPtr snap = svc.snapshot();
+        const Vertex u = static_cast<Vertex>(rng.below(snap->capacity()));
+        if (snap->contains(u)) {
+          std::size_t work = snap->path_to_root(u).size();
+          work += snap->same_component(0, u) ? 1 : 0;
+          volatile std::size_t sink = work;
+          (void)sink;
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_NE(svc.apply_sync(driver.next()), service::UpdateTicket::kRejected);
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  svc.stop();
+  EXPECT_GT(reads.load(), 0u);
+  const auto val = validate_dfs_forest(svc.core().graph(), svc.core().parent());
+  EXPECT_TRUE(val.ok) << val.reason;
 }
 
 TEST(Stress, SequentialStrategyAlsoCorrectUnderChurn) {
