@@ -6,6 +6,9 @@
 #   BENCH_service.json     — E-service, snapshot-serving layer: read QPS vs
 #                            reader threads, ack latency p50/p99, writer
 #                            coalescing (bench_service)
+#   BENCH_parallel.json    — E12, engine thread scaling: batch-update latency
+#                            at 1/2/4/8 workers on adversarial_star and
+#                            social_mix (bench_parallel)
 #
 # Usage: bench/run_bench.sh [build-dir] [min-time-seconds]
 #   build-dir defaults to <repo>/build-bench; min-time to 0.1 (raise for
@@ -29,5 +32,9 @@ cmake --build "$BUILD" -j "$(nproc)"
 "$BUILD/bench/bench_service" \
   --benchmark_min_time="$MIN_TIME" \
   --benchmark_out_format=json --benchmark_out="$ROOT/BENCH_service.json"
+"$BUILD/bench/bench_parallel" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_out_format=json --benchmark_out="$ROOT/BENCH_parallel.json"
 
-echo "wrote $ROOT/BENCH_update.json, $ROOT/BENCH_preprocess.json and $ROOT/BENCH_service.json"
+echo "wrote $ROOT/BENCH_update.json, $ROOT/BENCH_preprocess.json," \
+     "$ROOT/BENCH_service.json and $ROOT/BENCH_parallel.json"

@@ -7,8 +7,12 @@
 
 namespace pardfs {
 
-DynamicDfs::DynamicDfs(Graph graph, RerootStrategy strategy, pram::CostModel* cost)
-    : graph_(std::move(graph)), strategy_(strategy), cost_(cost) {
+DynamicDfs::DynamicDfs(Graph graph, RerootStrategy strategy,
+                       pram::CostModel* cost, int num_threads)
+    : graph_(std::move(graph)),
+      strategy_(strategy),
+      cost_(cost),
+      num_threads_(num_threads) {
   parent_ = static_dfs(graph_);
   rebuild_index();
   rebase();
@@ -22,6 +26,7 @@ DynamicDfs::DynamicDfs(DynamicDfs&& other) noexcept
       oracle_(std::move(other.oracle_)),
       strategy_(other.strategy_),
       cost_(other.cost_),
+      num_threads_(other.num_threads_),
       last_stats_(other.last_stats_),
       epoch_period_(other.epoch_period_),
       patch_budget_(other.patch_budget_),
@@ -40,6 +45,7 @@ DynamicDfs& DynamicDfs::operator=(DynamicDfs&& other) noexcept {
     oracle_ = std::move(other.oracle_);
     strategy_ = other.strategy_;
     cost_ = other.cost_;
+    num_threads_ = other.num_threads_;
     last_stats_ = other.last_stats_;
     epoch_period_ = other.epoch_period_;
     patch_budget_ = other.patch_budget_;
@@ -89,7 +95,7 @@ void DynamicDfs::execute(const ReductionResult& reduction, const OracleView& vie
   // parent_ already holds the pre-update forest; reroots overwrite their
   // subtrees, direct assignments patch single slots. The view is shared
   // with the preceding reduction so its decompose memo spans the update.
-  Rerooter engine(index_, view, strategy_, cost_);
+  Rerooter engine(index_, view, strategy_, cost_, num_threads_);
   last_stats_ = engine.run(reduction.reroots, parent_);
   for (const auto& [v, p] : reduction.direct) {
     parent_[static_cast<std::size_t>(v)] = p;
@@ -249,7 +255,7 @@ bool DynamicDfs::flush_segment(Segment& seg) {
   // Phase 2 + 3: one combined reduction, one engine pass.
   const OracleView view(&oracle_, &index_, at_base());
   BatchReduction reduction = reduce_batch(index_, view, graph_, changes);
-  Rerooter engine(index_, view, strategy_, cost_);
+  Rerooter engine(index_, view, strategy_, cost_, num_threads_);
   last_stats_ = engine.run_components(std::move(reduction.components), parent_);
   for (const auto& [v, p] : reduction.direct) {
     parent_[static_cast<std::size_t>(v)] = p;

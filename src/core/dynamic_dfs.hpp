@@ -49,9 +49,11 @@ class DynamicDfs {
  public:
   // Takes ownership of (a copy of) the initial graph; builds the initial
   // forest with the static O(m + n) algorithm and preprocesses D.
+  // `num_threads` caps the rerooting engine's worker team (0 = the pram
+  // facade default); the maintained forest is identical at any value.
   explicit DynamicDfs(Graph graph,
                       RerootStrategy strategy = RerootStrategy::kPaper,
-                      pram::CostModel* cost = nullptr);
+                      pram::CostModel* cost = nullptr, int num_threads = 0);
 
   // Movable (the embedded oracle is re-pointed at the moved base index);
   // copying would duplicate megabytes silently, so it is disabled.
@@ -99,6 +101,9 @@ class DynamicDfs {
   // O(n) current-tree index rebuilds so far, including the constructor's
   // (the quantity apply_batch amortizes: one per segment, not per update).
   std::size_t index_rebuilds() const { return index_rebuilds_; }
+  // The engine worker-team cap this instance was configured with (0 = pram
+  // facade default).
+  int num_threads() const { return num_threads_; }
 
  private:
   struct Segment {
@@ -129,6 +134,7 @@ class DynamicDfs {
   AdjacencyOracle oracle_;
   RerootStrategy strategy_;
   pram::CostModel* cost_;
+  int num_threads_ = 0;
   RerootStats last_stats_;
   std::size_t epoch_period_ = 1;
   std::size_t patch_budget_ = 1;

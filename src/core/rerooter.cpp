@@ -1,9 +1,12 @@
 #include "core/rerooter.hpp"
 
 #include <algorithm>
+#include <iterator>
+#include <memory>
 #include <numeric>
 
 #include "core/rerooter_internal.hpp"
+#include "pram/parallel.hpp"
 #include "util/check.hpp"
 
 namespace pardfs {
@@ -40,14 +43,13 @@ std::vector<Run> split_runs(const TreeIndex& cur, const std::vector<Vertex>& cha
     } else if (cur.parent(a) == b) {
       step = -1;
     }  // else: back-edge jump (step stays 0)
+    // Run boundary: a jump or a bend. Either way the new run starts at b
+    // with an unknown direction — a bend keeps walking in the tree, but its
+    // direction is only established by the new run's own second vertex.
     if (step == 0 || (direction != 0 && step != direction)) {
       runs.push_back({start, i - 1});
       start = i;
       direction = 0;
-      if (step != 0) {
-        // A bend keeps walking in the tree; the new run starts at b with an
-        // established direction only after its own second vertex.
-      }
     } else {
       direction = step;
     }
@@ -68,8 +70,16 @@ ChainHit best_edge_to_chain(EngineCtx& ctx, std::span<const Piece> pieces,
       if (!hit) continue;
       const std::int32_t pos = ctx.chain_pos(hit->v);
       PARDFS_CHECK_MSG(pos >= 0, "query returned an endpoint off the chain");
+      // Total order (pos desc, u asc, v asc): the winner must never depend
+      // on piece-iteration order now that components step in parallel and
+      // feed merged component lists back into the next round. On a simple
+      // chain pos already determines v, so the v term is pure defense — it
+      // keeps the order total even if a traversal ever emitted a repeated
+      // vertex.
       if (pos > best.pos ||
-          (pos == best.pos && hit->u < best.edge.u)) {
+          (pos == best.pos &&
+           (hit->u < best.edge.u ||
+            (hit->u == best.edge.u && hit->v < best.edge.v)))) {
         best = {*hit, pos};
       }
     }
@@ -193,8 +203,13 @@ void finish_traversal(detail::EngineCtx& ctx, const Component& comp,
 }  // namespace detail
 
 Rerooter::Rerooter(const TreeIndex& current, const OracleView& view,
-                   RerootStrategy strategy, pram::CostModel* cost)
-    : cur_(current), view_(view), strategy_(strategy), cost_(cost) {}
+                   RerootStrategy strategy, pram::CostModel* cost,
+                   int num_threads)
+    : cur_(current),
+      view_(view),
+      strategy_(strategy),
+      cost_(cost),
+      num_threads_(num_threads) {}
 
 RerootStats Rerooter::run(std::span<const RerootRequest> requests,
                           std::span<Vertex> parent_out) {
@@ -223,27 +238,62 @@ RerootStats Rerooter::run_components(std::vector<Component> active,
                                      std::span<Vertex> parent_out) {
   RerootStats stats;
   if (active.empty()) return stats;
-  detail::EngineCtx ctx(cur_, view_, stats);
   for (const Component& c : active) {
     PARDFS_CHECK(!c.pieces.empty());
     PARDFS_CHECK(c.entry_piece >= 0 &&
                  c.entry_piece < static_cast<std::int32_t>(c.pieces.size()));
   }
 
+  const int threads = num_threads_ > 0 ? num_threads_ : pram::num_threads();
+  // One context per worker, created on first use: a worker that never gets a
+  // component (small rounds) never pays the O(n) scratch allocation or the
+  // oracle-view memo copy.
+  std::vector<std::unique_ptr<detail::EngineCtx>> workers(
+      static_cast<std::size_t>(threads > 0 ? threads : 1));
+  const auto worker_ctx = [&](int w) -> detail::EngineCtx& {
+    auto& slot = workers[static_cast<std::size_t>(w)];
+    if (!slot) slot = std::make_unique<detail::EngineCtx>(cur_, view_);
+    return *slot;
+  };
+
+  // Per-component output slots for one round. Workers write only their
+  // component's slots, so the merged order — and with it T* and every next
+  // round's component list — is identical at any thread count.
+  std::vector<std::vector<Component>> emitted;
+  std::vector<std::uint32_t> comp_batches;
   std::vector<Component> next;
   while (!active.empty()) {
     ++stats.global_rounds;
-    next.clear();
-    std::uint32_t round_batches = 0;
-    // Components advance simultaneously on a PRAM; here they execute in turn
-    // within the round while the cost model records the parallel semantics
-    // (per-round batch count = max over components).
-    for (Component& comp : active) {
-      ++stats.components_processed;
+    const std::size_t k = active.size();
+    emitted.assign(k, {});
+    comp_batches.assign(k, 0);
+    const auto step = [&](detail::EngineCtx& ctx, std::size_t i) {
+      ++ctx.stats().components_processed;
       ctx.begin_step();
-      detail::TraversalPlan plan = detail::plan_traversal(ctx, comp, strategy_);
-      detail::finish_traversal(ctx, comp, std::move(plan), parent_out, next);
-      round_batches = std::max(round_batches, ctx.step_batches());
+      detail::TraversalPlan plan =
+          detail::plan_traversal(ctx, active[i], strategy_);
+      detail::finish_traversal(ctx, active[i], std::move(plan), parent_out,
+                               emitted[i]);
+      comp_batches[i] = ctx.step_batches();
+    };
+    if (threads <= 1 || k == 1) {
+      // A single component (or team): step serially so the primitives inside
+      // the step (subtree-wide query reductions) keep their own full teams
+      // instead of being nested-serialized under an outer region.
+      for (std::size_t i = 0; i < k; ++i) step(worker_ctx(0), i);
+    } else {
+      pram::parallel_for_workers(
+          k, threads, [&](int w, std::size_t i) { step(worker_ctx(w), i); });
+    }
+
+    // Round barrier: merge. The PRAM cost model is unchanged — it counts
+    // logical rounds (per-round batch count = max over components), not
+    // worker threads.
+    std::uint32_t round_batches = 0;
+    next.clear();
+    for (std::size_t i = 0; i < k; ++i) {
+      round_batches = std::max(round_batches, comp_batches[i]);
+      std::move(emitted[i].begin(), emitted[i].end(), std::back_inserter(next));
     }
     stats.query_batches += round_batches;
     if (cost_ != nullptr) {
@@ -255,6 +305,9 @@ RerootStats Rerooter::run_components(std::vector<Component> active,
       }
     }
     active.swap(next);
+  }
+  for (const auto& w : workers) {
+    if (w) stats.accumulate(w->stats());
   }
   return stats;
 }

@@ -21,6 +21,13 @@
 // component re-enters through its edge to the traversed path that the DFS
 // would retreat past first (the components property, Lemma 1). The final
 // parent array is therefore a valid DFS tree for any traversal choice.
+//
+// Execution model: the rounds are not only the PRAM accounting unit — all
+// active components of a round step concurrently on a real worker team
+// (pram::parallel_for_workers), each worker owning its scratch and oracle
+// view. Outputs land in per-component slots merged in component order, so
+// the tree, the new-component order and the stats are byte-identical at any
+// thread count. See DESIGN.md §8.
 #pragma once
 
 #include <cstdint>
@@ -67,8 +74,15 @@ struct RerootStats {
 
 class Rerooter {
  public:
+  // `num_threads` caps the worker team stepping a round's components
+  // concurrently (0 = the pram facade default). The result — final parent
+  // array, new-component order and every RerootStats counter — is identical
+  // at any thread count: per-component outputs go into disjoint slots merged
+  // in component order, and every tie inside a step breaks on a total order.
+  // Only the logical cost model's semantics (rounds, not threads) are
+  // recorded, so the knob is pure wall-clock.
   Rerooter(const TreeIndex& current, const OracleView& view, RerootStrategy strategy,
-           pram::CostModel* cost = nullptr);
+           pram::CostModel* cost = nullptr, int num_threads = 0);
 
   // Executes all reroots (they must target disjoint subtrees). parent_out
   // must be pre-filled with the current tree's parent array; entries inside
@@ -89,6 +103,7 @@ class Rerooter {
   const OracleView& view_;
   RerootStrategy strategy_;
   pram::CostModel* cost_;
+  int num_threads_;
 };
 
 }  // namespace pardfs

@@ -30,10 +30,19 @@ std::vector<Run> split_runs(const TreeIndex& cur, const std::vector<Vertex>& cha
 
 // Engine context handed to the planner: tree, oracle view, scratch marking
 // arrays (stamped, O(1) reset), per-step query-batch counter and stats.
+//
+// One context belongs to ONE worker thread: components of a round step
+// concurrently (rerooter.cpp), and everything mutable a step touches — the
+// marking scratch, the chain-position index, the step counter, the stats and
+// the oracle view's path-decomposition memo — lives here. The view is
+// therefore held by value: the copy inherits the caller's memo (warm from
+// the preceding reduction) and grows its own entries without synchronizing.
+// Per-worker stats are merged by the engine at the end of the run; all
+// counters are sums (or max), so the merge is order-independent.
 class EngineCtx {
  public:
-  EngineCtx(const TreeIndex& cur, const OracleView& view, RerootStats& stats)
-      : cur_(cur), view_(view), stats_(stats) {
+  EngineCtx(const TreeIndex& cur, const OracleView& view)
+      : cur_(cur), view_(view) {
     mark_stamp_.assign(static_cast<std::size_t>(cur.capacity()), 0);
     pos_stamp_.assign(static_cast<std::size_t>(cur.capacity()), 0);
     pos_val_.assign(static_cast<std::size_t>(cur.capacity()), -1);
@@ -71,8 +80,8 @@ class EngineCtx {
 
  private:
   const TreeIndex& cur_;
-  const OracleView& view_;
-  RerootStats& stats_;
+  const OracleView view_;  // by value: the decompose memo is per-worker
+  RerootStats stats_;      // per-worker; merged by the engine
   std::vector<std::int32_t> mark_stamp_, pos_stamp_, pos_val_;
   std::int32_t generation_ = 0;
   std::int32_t pos_generation_ = 0;
@@ -84,9 +93,11 @@ TraversalPlan plan_traversal(EngineCtx& ctx, const Component& comp,
                              RerootStrategy strategy);
 
 // Best edge from the given pieces to the chain, preferring endpoints with
-// the LARGEST chain position (= earliest DFS retreat = "lowest on p*").
-// Requires ctx.index_chain(chain) to have been called. Returns the edge and
-// the position of its chain endpoint. One query batch.
+// the LARGEST chain position (= earliest DFS retreat = "lowest on p*");
+// ties resolve by the total order (pos desc, u asc, v asc), so the winner
+// never depends on piece-iteration order. Requires ctx.index_chain(chain)
+// to have been called. Returns the edge and the position of its chain
+// endpoint. One query batch.
 struct ChainHit {
   Edge edge;
   std::int32_t pos = -1;

@@ -2,9 +2,12 @@
 //
 // The algorithm code reads as the paper's PRAM pseudo-code: `parallel_for_t`
 // assigns one logical processor per element, `parallel_reduce` is an
-// O(log n)-depth tree reduction. Results are deterministic and independent
-// of the physical thread count (reductions use a user-supplied associative,
-// commutative-or-index-ordered combiner applied over a fixed blocking).
+// O(log n)-depth tree reduction, and `parallel_for_workers` fans a round of
+// coarse tasks (e.g. rerooting component steps) over a fixed worker team,
+// exposing the worker id for per-worker scratch. Results are deterministic
+// and independent of the physical thread count (reductions use a
+// user-supplied associative, total-order combiner applied over a fixed
+// blocking; worker loops write per-task slots merged in task order).
 //
 // Grain control: spawning OpenMP teams for tiny loops costs more than the
 // loop body; below `kSerialGrain` elements the facade runs serially. This
@@ -15,6 +18,28 @@
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+// TSan cannot see libgomp's futex-based fork/join barrier, so every read
+// after an omp region looks racy against the workers' writes. Under
+// -fsanitize=thread the worker fan-out therefore runs on std::threads,
+// whose create/join edges TSan understands; real races between worker
+// bodies stay fully visible.
+#if defined(__SANITIZE_THREAD__)
+#define PARDFS_PRAM_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PARDFS_PRAM_TSAN 1
+#endif
+#endif
+
+#if defined(PARDFS_PRAM_TSAN)
+#include <atomic>
+#include <thread>
+#endif
 
 namespace pardfs::pram {
 
@@ -39,6 +64,54 @@ void parallel_for_t(std::size_t begin, std::size_t end, Body&& body) {
        i < static_cast<std::int64_t>(end); ++i) {
     body(static_cast<std::size_t>(i));
   }
+}
+
+// for (i in [0, count)) body(worker, i), where worker < threads identifies
+// the executing worker so callers can keep per-worker scratch (sized to
+// `threads`; 0 = num_threads()). Unlike parallel_for_t there is no
+// serial-grain cutoff: each task is assumed substantial (e.g. one whole
+// rerooting component step), and tasks are claimed dynamically for load
+// balance. Callers must produce results that are independent of which
+// worker runs which task (write into per-task slots, merge per-worker
+// accumulators with commutative ops).
+template <typename Body>
+void parallel_for_workers(std::size_t count, int threads, Body&& body) {
+  if (count == 0) return;
+  if (threads <= 0) threads = num_threads();
+#if defined(PARDFS_PRAM_TSAN)
+  if (threads > 1 && count > 1) {
+    const int team =
+        threads < static_cast<int>(count) ? threads : static_cast<int>(count);
+    std::atomic<std::size_t> cursor{0};
+    const auto drain = [&](int worker) {
+      for (std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+           i < count; i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+        body(worker, i);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(team - 1));
+    for (int w = 1; w < team; ++w) pool.emplace_back(drain, w);
+    drain(0);  // the calling thread is worker 0, as in the OpenMP path
+    for (std::thread& t : pool) t.join();
+    return;
+  }
+#elif defined(_OPENMP)
+  if (threads > 1 && count > 1) {
+    const int team =
+        threads < static_cast<int>(count) ? threads : static_cast<int>(count);
+#pragma omp parallel num_threads(team)
+    {
+      const int worker = omp_get_thread_num();
+#pragma omp for schedule(dynamic, 1)
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(count); ++i) {
+        body(worker, static_cast<std::size_t>(i));
+      }
+    }
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < count; ++i) body(0, i);
 }
 
 // Tree reduction: combine(identity, f(begin), ..., f(end-1)). `combine` must

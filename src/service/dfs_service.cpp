@@ -21,7 +21,7 @@ struct DfsService::BatchDelta {
 
 DfsService::DfsService(Graph initial, ServiceConfig config)
     : config_(config),
-      dfs_(std::move(initial), config.strategy),
+      dfs_(std::move(initial), config.strategy, nullptr, config.num_threads),
       queue_(config.queue_capacity),
       paused_(config.start_paused) {
   version_ = 1;
@@ -32,9 +32,9 @@ DfsService::DfsService(Graph initial, ServiceConfig config)
 DfsService::~DfsService() { stop(); }
 
 std::uint64_t DfsService::apply_sync(GraphUpdate update) {
-  const UpdateTicket ticket = submit(std::move(update));
-  if (!ticket.valid()) return UpdateTicket::kRejected;  // stopped
-  return ticket.wait();
+  // A submit racing stop() yields a pre-rejected ticket, so the blocking
+  // wait is unconditionally safe.
+  return submit(std::move(update)).wait();
 }
 
 void DfsService::pause() {

@@ -38,6 +38,10 @@ struct ServiceConfig {
   // largest batch the Theorem 9 patch budget absorbs in one segment).
   std::size_t max_batch = 0;
   RerootStrategy strategy = RerootStrategy::kPaper;
+  // Worker-team cap for the rerooting engine's parallel rounds (0 = the pram
+  // facade default). Purely a wall-clock knob: the served forest is
+  // identical at any value.
+  int num_threads = 0;
   // Start with the writer paused (updates queue up; nothing applies until
   // resume()). Lets tests and benchmarks pin coalescing deterministically.
   bool start_paused = false;
@@ -71,7 +75,8 @@ class DfsService {
   }
 
   // ---- producer side -------------------------------------------------------
-  // Blocks while the queue is full (backpressure); invalid ticket after stop.
+  // Blocks while the queue is full (backpressure). After stop() the ticket
+  // comes back already acknowledged as kRejected (always safe to wait() on).
   UpdateTicket submit(GraphUpdate update) { return queue_.submit(std::move(update)); }
   bool try_submit(GraphUpdate update, UpdateTicket* ticket) {
     return queue_.try_submit(std::move(update), ticket);

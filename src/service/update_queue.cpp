@@ -7,7 +7,9 @@
 namespace pardfs::service {
 
 std::uint64_t UpdateTicket::wait() const {
-  PARDFS_CHECK(valid());
+  // Total even on a never-enqueued ticket: a client racing DfsService::stop()
+  // must see a rejection, not an aborted process.
+  if (!valid()) return kRejected;
   // C++20 atomic wait: blocks until result leaves the pending sentinel.
   state_->result.wait(0, std::memory_order_acquire);
   return state_->result.load(std::memory_order_acquire);
@@ -33,7 +35,15 @@ UpdateQueue::UpdateQueue(std::size_t capacity)
 UpdateTicket UpdateQueue::submit(GraphUpdate update) {
   std::unique_lock lock(mu_);
   not_full_.wait(lock, [&] { return fifo_.size() < capacity_ || closed_; });
-  if (closed_) return {};
+  if (closed_) {
+    // A submit that lost the race against close() gets a ticket already
+    // acknowledged as rejected: wait()/poll() on it behave exactly like a
+    // feasibility rejection instead of tripping the valid() check.
+    lock.unlock();
+    UpdateTicket ticket = UpdateTicket::make();
+    ticket.ack(UpdateTicket::kRejected);
+    return ticket;
+  }
   UpdateTicket ticket = UpdateTicket::make();
   fifo_.push_back({std::move(update), ticket});
   lock.unlock();

@@ -43,7 +43,8 @@ class UpdateTicket {
     return valid() && state_->result.load(std::memory_order_acquire) != 0;
   }
   // Blocks until acknowledged; returns the publishing snapshot version, or
-  // kRejected. Must not be called on an invalid ticket.
+  // kRejected. Total: on a default-constructed (never enqueued) ticket it
+  // returns kRejected immediately.
   std::uint64_t wait() const;
   // Non-blocking probe; empty while unacknowledged.
   std::optional<std::uint64_t> poll() const;
@@ -79,9 +80,11 @@ class UpdateQueue {
  public:
   explicit UpdateQueue(std::size_t capacity);
 
-  // Producer side. submit() blocks while the queue is full (backpressure)
-  // and returns an invalid ticket if the queue was closed; try_submit()
-  // returns false instead of blocking.
+  // Producer side. submit() blocks while the queue is full (backpressure).
+  // Once the queue is closed it returns a ticket already acknowledged as
+  // kRejected — safe to wait() on, exactly like a feasibility rejection —
+  // so producers racing close() never observe a half-made ticket.
+  // try_submit() returns false instead of blocking (and on a closed queue).
   UpdateTicket submit(GraphUpdate update);
   bool try_submit(GraphUpdate update, UpdateTicket* ticket);
 

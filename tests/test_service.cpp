@@ -210,8 +210,40 @@ TEST(Service, StopDrainsEveryPendingTicket) {
     EXPECT_TRUE(t.done()) << "stop() must not strand tickets";
     EXPECT_NE(t.wait(), UpdateTicket::kRejected);
   }
-  EXPECT_FALSE(svc.submit(GraphUpdate::insert_edge(0, 1)).valid())
-      << "post-stop submits fail fast";
+  const UpdateTicket late = svc.submit(GraphUpdate::insert_edge(0, 1));
+  EXPECT_TRUE(late.done()) << "post-stop submits fail fast, pre-acknowledged";
+  EXPECT_EQ(late.wait(), UpdateTicket::kRejected);
+}
+
+TEST(Service, SubmitRacingStopIsRejectedNotAborted) {
+  // Regression: a client whose submit() lost the race against stop() used to
+  // receive an invalid ticket, and the blocking-apply path's immediate
+  // wait() tripped PARDFS_CHECK(valid()) — aborting the whole process. The
+  // contract now is a ticket pre-acknowledged as kRejected. Hammer the race
+  // from both sides; any abort fails the test run itself.
+  const Graph initial = gen::path(16);
+  for (int iter = 0; iter < 1000; ++iter) {
+    DfsService svc(initial, {});
+    std::atomic<bool> go{false};
+    std::thread producer([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (Vertex i = 0; i < 6; ++i) {
+        // Both entry points must stay total through the shutdown.
+        const UpdateTicket t = svc.submit(GraphUpdate::insert_edge(0, 2 + i));
+        const std::uint64_t direct = t.wait();
+        const std::uint64_t synced =
+            svc.apply_sync(GraphUpdate::delete_edge(2 + i, 3 + i));
+        if (direct == UpdateTicket::kRejected &&
+            synced == UpdateTicket::kRejected) {
+          break;  // service fully stopped under us
+        }
+      }
+    });
+    go.store(true, std::memory_order_release);
+    svc.stop();
+    producer.join();
+  }
 }
 
 TEST(Service, MultipleProducersAllAcked) {

@@ -211,6 +211,63 @@ TEST(Stress, ServiceSurvivesAdversarialStarWithReaders) {
   EXPECT_TRUE(val.ok) << val.reason;
 }
 
+TEST(Stress, ParallelEngineBatchChurn) {
+  // The rerooting engine's worker fan-out, driven hard through the combined
+  // batch path with an explicit 4-worker team — the scenario the TSAN CI job
+  // must see race-free (workers share the tree, the oracle and the cost
+  // model; everything else is per-worker).
+  using service::Scenario;
+  for (const Scenario scenario :
+       {Scenario::kAdversarialStar, Scenario::kSocialMix}) {
+    const service::WorkloadSpec spec{scenario, 160,
+                                     91 + static_cast<std::uint64_t>(scenario)};
+    service::WorkloadDriver driver(spec);
+    DynamicDfs dfs(service::make_initial_graph(spec), RerootStrategy::kPaper,
+                   nullptr, /*num_threads=*/4);
+    for (int batch = 0; batch < 20; ++batch) {
+      std::vector<GraphUpdate> updates;
+      for (int i = 0; i < 8; ++i) updates.push_back(driver.next());
+      dfs.apply_batch(updates);
+      const auto val = validate_dfs_forest(dfs.graph(), dfs.parent());
+      ASSERT_TRUE(val.ok) << service::scenario_name(scenario) << " batch "
+                          << batch << ": " << val.reason;
+    }
+  }
+}
+
+TEST(Stress, ParallelEngineServiceUnderReaders) {
+  // Worker fan-out inside the writer thread while readers hammer snapshots:
+  // engine workers + writer + readers all live at once.
+  const service::WorkloadSpec spec{service::Scenario::kAdversarialStar, 192, 13};
+  service::WorkloadDriver driver(spec);
+  service::ServiceConfig config;
+  config.num_threads = 4;
+  service::DfsService svc(service::make_initial_graph(spec), config);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(133 + r);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const service::SnapshotPtr snap = svc.snapshot();
+        const Vertex u = static_cast<Vertex>(rng.below(snap->capacity()));
+        if (snap->contains(u)) {
+          volatile Vertex sink = snap->root_of(u);
+          (void)sink;
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_NE(svc.apply_sync(driver.next()), service::UpdateTicket::kRejected);
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  svc.stop();
+  const auto val = validate_dfs_forest(svc.core().graph(), svc.core().parent());
+  EXPECT_TRUE(val.ok) << val.reason;
+}
+
 TEST(Stress, SequentialStrategyAlsoCorrectUnderChurn) {
   Rng rng(9004);
   Graph g = gen::random_connected(80, 120, rng);
