@@ -23,15 +23,27 @@ void BM_DynamicUpdate(benchmark::State& state) {
   DynamicDfs dfs(g);
   std::size_t i = 0;
   std::uint64_t rounds = 0, batches = 0, updates = 0;
+  UpdatePhaseBreakdown phases_sum;
+  UpdatePhaseBreakdown mark = dfs.phase_breakdown();
+  const auto absorb = [&](const DynamicDfs& d) {
+    const UpdatePhaseBreakdown& p = d.phase_breakdown();
+    phases_sum.patch_ns += p.patch_ns - mark.patch_ns;
+    phases_sum.reroot_ns += p.reroot_ns - mark.reroot_ns;
+    phases_sum.index_rebuild_ns += p.index_rebuild_ns - mark.index_rebuild_ns;
+    phases_sum.rebase_ns += p.rebase_ns - mark.rebase_ns;
+    mark = p;
+  };
   for (auto _ : state) {
     if (i != 0 && i % stream.size() == 0) {
       // The stream is only feasible against the initial graph: reset before
       // wrapping around.
       state.PauseTiming();
       dfs = DynamicDfs(g);
+      mark = dfs.phase_breakdown();
       state.ResumeTiming();
     }
     benchutil::apply_to(dfs, stream[i % stream.size()]);
+    absorb(dfs);
     rounds += dfs.last_stats().global_rounds;
     batches += dfs.last_stats().query_batches;
     ++updates;
@@ -42,6 +54,16 @@ void BM_DynamicUpdate(benchmark::State& state) {
   state.counters["query_sets/update"] =
       benchmark::Counter(static_cast<double>(batches) / updates);
   state.counters["n"] = benchmark::Counter(n);
+  // E13 phase breakdown: where each per-update microsecond goes.
+  const double per_update = 1e-3 / static_cast<double>(updates);
+  state.counters["patch_us/update"] =
+      benchmark::Counter(static_cast<double>(phases_sum.patch_ns) * per_update);
+  state.counters["reroot_us/update"] =
+      benchmark::Counter(static_cast<double>(phases_sum.reroot_ns) * per_update);
+  state.counters["index_rebuild_us/update"] = benchmark::Counter(
+      static_cast<double>(phases_sum.index_rebuild_ns) * per_update);
+  state.counters["rebase_us/update"] =
+      benchmark::Counter(static_cast<double>(phases_sum.rebase_ns) * per_update);
 }
 BENCHMARK(BM_DynamicUpdate)->RangeMultiplier(2)->Range(1 << 10, 1 << 15)
     ->Unit(benchmark::kMicrosecond);

@@ -26,6 +26,9 @@ cmake --build "$BUILD" -j "$(nproc)"
 "$BUILD/bench/bench_update" \
   --benchmark_min_time="$MIN_TIME" \
   --benchmark_out_format=json --benchmark_out="$ROOT/BENCH_update.json"
+# Ratio guard: the dynamic update path must stay >= 1.3x faster than the
+# static recompute at n = 2^15 (the epoch-tax regression tripwire).
+python3 "$ROOT/bench/check_update_ratio.py" "$ROOT/BENCH_update.json" --min-ratio 1.3
 "$BUILD/bench/bench_preprocess" \
   --benchmark_min_time="$MIN_TIME" \
   --benchmark_out_format=json --benchmark_out="$ROOT/BENCH_preprocess.json"

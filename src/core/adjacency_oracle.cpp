@@ -17,7 +17,15 @@ void AdjacencyOracle::build(const Graph& g, const TreeIndex& base,
                    "base tree index must cover the graph");
   const std::size_t n = static_cast<std::size_t>(g.capacity());
   built_capacity_ = n;
-  extras_.assign(n, {});
+  // Steady-state rebuild is allocation-free: every buffer below is resized
+  // in place (shrink keeps capacity; same shape re-grows nothing). The
+  // per-vertex extras keep their inner capacities too — assign() would
+  // deallocate all of them each epoch.
+  if (extras_.size() > n) extras_.resize(n);
+  for (auto& ex : extras_) ex.clear();
+  extras_.resize(n);
+  has_extras_.assign(n, 0);
+  has_deleted_.assign(n, 0);
   dead_.assign(n, 0);
   deleted_edges_.clear();
   patch_count_ = 0;
@@ -25,27 +33,41 @@ void AdjacencyOracle::build(const Graph& g, const TreeIndex& base,
   // CSR build: parallel degree count, exclusive scan for bucket offsets,
   // then each bucket is filled and sorted independently. The scan total is
   // 2m, so the old serial total_work accumulation loop folds into it.
-  std::vector<std::uint32_t> counts(n, 0);
+  count_scratch_.resize(n);
   pram::parallel_for_t(0, n, [&](std::size_t sv) {
     const Vertex v = static_cast<Vertex>(sv);
-    counts[sv] = g.is_alive(v) ? static_cast<std::uint32_t>(g.degree(v)) : 0;
+    count_scratch_[sv] = g.is_alive(v) ? static_cast<std::uint32_t>(g.degree(v)) : 0;
   });
   sorted_offsets_.resize(n + 1);
   const std::uint64_t total_work =
-      pram::exclusive_scan(counts, std::span(sorted_offsets_).first(n));
+      pram::exclusive_scan(count_scratch_, std::span(sorted_offsets_).first(n));
   PARDFS_CHECK_MSG(total_work <= UINT32_MAX,
                    "CSR offsets are 32-bit: graph exceeds 2^31 edges");
   sorted_offsets_[n] = static_cast<std::uint32_t>(total_work);
   sorted_data_.resize(total_work);
+  sorted_posts_.resize(total_work);
+  sort_scratch_.resize(total_work);
   pram::parallel_for_t(0, n, [&](std::size_t sv) {
     const Vertex v = static_cast<Vertex>(sv);
     if (!g.is_alive(v)) return;
     const auto nbrs = g.neighbors(v);
-    Vertex* bucket = sorted_data_.data() + sorted_offsets_[sv];
-    std::copy(nbrs.begin(), nbrs.end(), bucket);
-    std::sort(bucket, bucket + nbrs.size(), [&](Vertex a, Vertex b) {
-      return base.post(a) < base.post(b);
-    });
+    // Sort packed (post, vertex) keys: one contiguous uint64 compare per
+    // step instead of two dependent loads through base.post per comparison.
+    // Posts are unique, so the order equals the old post-comparator order.
+    std::uint64_t* bucket = sort_scratch_.data() + sorted_offsets_[sv];
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      bucket[i] = (static_cast<std::uint64_t>(
+                       static_cast<std::uint32_t>(base.post(nbrs[i])))
+                   << 32) |
+                  static_cast<std::uint32_t>(nbrs[i]);
+    }
+    std::sort(bucket, bucket + nbrs.size());
+    Vertex* data = sorted_data_.data() + sorted_offsets_[sv];
+    std::int32_t* posts = sorted_posts_.data() + sorted_offsets_[sv];
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      data[i] = static_cast<Vertex>(bucket[i] & 0xFFFFFFFFu);
+      posts[i] = static_cast<std::int32_t>(bucket[i] >> 32);
+    }
   });
   if (cost_ != nullptr) {
     const std::uint64_t logn = n > 1 ? 64 - __builtin_clzll(n - 1) : 1;
@@ -61,18 +83,37 @@ void AdjacencyOracle::clear_patches() {
   const std::size_t n = built_capacity_;
   if (extras_.size() > n) {
     extras_.resize(n);
+    has_extras_.resize(n);
+    has_deleted_.resize(n);
     dead_.resize(n);
   }
   for (auto& ex : extras_) ex.clear();
+  std::fill(has_extras_.begin(), has_extras_.end(), 0);
+  std::fill(has_deleted_.begin(), has_deleted_.end(), 0);
   std::fill(dead_.begin(), dead_.end(), 0);
   deleted_edges_.clear();
   patch_count_ = 0;
+}
+
+std::size_t AdjacencyOracle::heap_capacity_bytes() const {
+  std::size_t total = sorted_offsets_.capacity() * sizeof(std::uint32_t) +
+                      sorted_data_.capacity() * sizeof(Vertex) +
+                      sorted_posts_.capacity() * sizeof(std::int32_t) +
+                      extras_.capacity() * sizeof(std::vector<Vertex>) +
+                      has_extras_.capacity() + has_deleted_.capacity() +
+                      dead_.capacity() +
+                      sort_scratch_.capacity() * sizeof(std::uint64_t) +
+                      count_scratch_.capacity() * sizeof(std::uint32_t);
+  for (const auto& ex : extras_) total += ex.capacity() * sizeof(Vertex);
+  return total;
 }
 
 void AdjacencyOracle::ensure_patch_capacity(Vertex v) {
   const std::size_t need = static_cast<std::size_t>(v) + 1;
   if (extras_.size() < need) {
     extras_.resize(need);
+    has_extras_.resize(need, 0);
+    has_deleted_.resize(need, 0);
     dead_.resize(need, 0);
     // The sorted CSR stays frozen at built_capacity_; vertices beyond it
     // have no base neighbors (base_neighbors returns an empty span).
@@ -89,11 +130,9 @@ void AdjacencyOracle::note_edge_inserted(Vertex u, Vertex v) {
     // even on delete/re-insert churn at high-degree vertices.
     bool u_is_base_edge = false;
     if (is_base_vertex(u) && is_base_vertex(v)) {
-      const auto base_u = base_neighbors(u);
-      auto post_less = [this](Vertex z, std::int32_t p) { return base_->post(z) < p; };
-      const auto it =
-          std::lower_bound(base_u.begin(), base_u.end(), base_->post(v), post_less);
-      u_is_base_edge = it != base_u.end() && *it == v;
+      const auto posts = base_posts(u);
+      const auto it = std::lower_bound(posts.begin(), posts.end(), base_->post(v));
+      u_is_base_edge = it != posts.end() && *it == base_->post(v);
     }
     if (u_is_base_edge) {
       ++patch_count_;
@@ -102,6 +141,8 @@ void AdjacencyOracle::note_edge_inserted(Vertex u, Vertex v) {
   }
   extras_[static_cast<std::size_t>(u)].push_back(v);
   extras_[static_cast<std::size_t>(v)].push_back(u);
+  has_extras_[static_cast<std::size_t>(u)] = 1;
+  has_extras_[static_cast<std::size_t>(v)] = 1;
   ++patch_count_;
 }
 
@@ -112,13 +153,18 @@ void AdjacencyOracle::note_edge_deleted(Vertex u, Vertex v) {
     const auto it = std::find(ex.begin(), ex.end(), b);
     if (it != ex.end()) {
       ex.erase(it);
+      if (ex.empty()) has_extras_[static_cast<std::size_t>(a)] = 0;
       return true;
     }
     return false;
   };
   const bool was_extra = drop_extra(u, v);
   drop_extra(v, u);
-  if (!was_extra) deleted_edges_.insert(undirected_key(u, v));
+  if (!was_extra) {
+    deleted_edges_.insert(undirected_key(u, v));
+    has_deleted_[static_cast<std::size_t>(u)] = 1;
+    has_deleted_[static_cast<std::size_t>(v)] = 1;
+  }
   ++patch_count_;
 }
 
@@ -157,31 +203,34 @@ AdjacencyOracle::Candidate AdjacencyOracle::probe_up(Vertex u, PathSeg seg,
   if (!is_base_vertex(u) || !is_base_vertex(seg.top)) return result;
   if (!base_->is_ancestor(seg.top, u) || seg.top == u) return result;
   // Ancestors of u on [top..bottom] form the chain [lca(u, bottom)..top];
-  // their posts fill [post(l), post(top)] within N(u) exclusively.
+  // their posts fill [post(l), post(top)] within N(u) exclusively. The
+  // window is located by binary search over the contiguous post keys.
   const Vertex l = base_->lca(u, seg.bottom);
   PARDFS_DCHECK(l != kNullVertex);
   const std::int32_t lo = base_->post(l);
   const std::int32_t hi = base_->post(seg.top);
+  const auto posts = base_posts(u);
   const auto list = base_neighbors(u);
-  auto post_less = [this](Vertex z, std::int32_t p) { return base_->post(z) < p; };
-  const auto begin =
-      std::lower_bound(list.begin(), list.end(), lo, post_less);
-  const auto finish =
-      std::lower_bound(list.begin(), list.end(), hi + 1, post_less);
+  const std::size_t begin =
+      static_cast<std::size_t>(std::lower_bound(posts.begin(), posts.end(), lo) -
+                               posts.begin());
+  const std::size_t finish =
+      static_cast<std::size_t>(std::lower_bound(posts.begin(), posts.end(), hi + 1) -
+                               posts.begin());
   std::uint64_t probes = 1;
   if (end == PathEnd::kTop) {
-    for (auto it = finish; it != begin;) {
-      --it;
+    for (std::size_t i = finish; i != begin;) {
+      --i;
       ++probes;
-      if (edge_deleted(u, *it) || vertex_dead(*it)) continue;
-      result = {base_->post(*it), u, *it};
+      if (edge_deleted(u, list[i]) || vertex_dead(list[i])) continue;
+      result = {posts[i], u, list[i]};
       break;
     }
   } else {
-    for (auto it = begin; it != finish; ++it) {
+    for (std::size_t i = begin; i != finish; ++i) {
       ++probes;
-      if (edge_deleted(u, *it) || vertex_dead(*it)) continue;
-      result = {base_->post(*it), u, *it};
+      if (edge_deleted(u, list[i]) || vertex_dead(list[i])) continue;
+      result = {posts[i], u, list[i]};
       break;
     }
   }
@@ -197,19 +246,23 @@ AdjacencyOracle::Candidate AdjacencyOracle::probe_down(Vertex u, PathSeg seg,
   if (!base_->is_ancestor(u, seg.top) || u == seg.top) return result;
   const std::int32_t lo = base_->post(seg.bottom);
   const std::int32_t hi = base_->post(seg.top);
+  const auto posts = base_posts(u);
   const auto list = base_neighbors(u);
-  auto post_less = [this](Vertex z, std::int32_t p) { return base_->post(z) < p; };
-  const auto begin = std::lower_bound(list.begin(), list.end(), lo, post_less);
-  const auto finish = std::lower_bound(list.begin(), list.end(), hi + 1, post_less);
+  const std::size_t begin =
+      static_cast<std::size_t>(std::lower_bound(posts.begin(), posts.end(), lo) -
+                               posts.begin());
+  const std::size_t finish =
+      static_cast<std::size_t>(std::lower_bound(posts.begin(), posts.end(), hi + 1) -
+                               posts.begin());
   std::uint64_t probes = 1;
   // Candidates in the window are inside T(seg.top); the chain test filters
   // the ones actually on [top..bottom].
-  for (auto it = begin; it != finish; ++it) {
+  for (std::size_t i = begin; i != finish; ++i) {
     ++probes;
-    const Vertex z = *it;
+    const Vertex z = list[i];
     if (edge_deleted(u, z) || vertex_dead(z)) continue;
     if (!base_->is_ancestor(z, seg.bottom)) continue;  // off-chain branch
-    result = better(result, {base_->post(z), u, z}, end);
+    result = better(result, {posts[i], u, z}, end);
   }
   if (cost_ != nullptr) cost_->add_query(probes);
   return result;
@@ -218,7 +271,7 @@ AdjacencyOracle::Candidate AdjacencyOracle::probe_down(Vertex u, PathSeg seg,
 AdjacencyOracle::Candidate AdjacencyOracle::probe_extras(Vertex u, PathSeg seg,
                                                          PathEnd end) const {
   Candidate result;
-  if (static_cast<std::size_t>(u) >= extras_.size()) return result;
+  if (!has_extras(u)) return result;
   const auto& ex = extras_[static_cast<std::size_t>(u)];
   for (const Vertex z : ex) {
     if (vertex_dead(z) || edge_deleted(u, z)) continue;
@@ -236,7 +289,7 @@ AdjacencyOracle::Candidate AdjacencyOracle::probe_all(Vertex u, PathSeg seg,
   // reach it; direct membership test over u's extras.
   if (seg.top == seg.bottom && !is_base_vertex(seg.top)) {
     Candidate result;
-    if (static_cast<std::size_t>(u) < extras_.size()) {
+    if (has_extras(u)) {
       for (const Vertex z : extras_[static_cast<std::size_t>(u)]) {
         if (z == seg.top && !edge_deleted(u, z) && !vertex_dead(z)) {
           result = {0, u, z};
@@ -249,7 +302,7 @@ AdjacencyOracle::Candidate AdjacencyOracle::probe_all(Vertex u, PathSeg seg,
   }
   Candidate result = probe_up(u, seg, end);
   result = better(result, probe_down(u, seg, end), end);
-  result = better(result, probe_extras(u, seg, end), end);
+  if (has_extras(u)) result = better(result, probe_extras(u, seg, end), end);
   return result;
 }
 
@@ -270,6 +323,40 @@ std::optional<Edge> AdjacencyOracle::query_sources(std::span<const Vertex> sourc
   return Edge{best.source, best.target};
 }
 
+std::optional<Vertex> AdjacencyOracle::probe_into_subtree(Vertex u, Vertex r) const {
+  if (vertex_dead(u)) return std::nullopt;
+  Vertex best = kNullVertex;
+  if (is_base_vertex(u) && is_base_vertex(r)) {
+    // T(r)'s posts are exactly [post(r) - size(r) + 1, post(r)].
+    const std::int32_t hi = base_->post(r);
+    const std::int32_t lo = hi - base_->size(r) + 1;
+    const auto posts = base_posts(u);
+    const auto list = base_neighbors(u);
+    const std::size_t begin = static_cast<std::size_t>(
+        std::lower_bound(posts.begin(), posts.end(), lo) - posts.begin());
+    const std::size_t finish = static_cast<std::size_t>(
+        std::lower_bound(posts.begin(), posts.end(), hi + 1) - posts.begin());
+    std::uint64_t probes = 1;
+    for (std::size_t i = begin; i != finish; ++i) {
+      ++probes;
+      const Vertex z = list[i];
+      if (edge_deleted(u, z) || vertex_dead(z)) continue;
+      if (best == kNullVertex || z < best) best = z;
+    }
+    if (cost_ != nullptr) cost_->add_query(probes);
+  }
+  if (has_extras(u)) {
+    for (const Vertex z : extras_[static_cast<std::size_t>(u)]) {
+      if (vertex_dead(z) || edge_deleted(u, z)) continue;
+      if (!is_base_vertex(z) || !base_->is_ancestor(r, z)) continue;
+      if (best == kNullVertex || z < best) best = z;
+    }
+    if (cost_ != nullptr) cost_->add_query(extras_[static_cast<std::size_t>(u)].size());
+  }
+  if (best == kNullVertex) return std::nullopt;
+  return best;
+}
+
 std::optional<Edge> AdjacencyOracle::query_segments(PathSeg source, PathSeg target,
                                                     PathEnd end) const {
   // Inserted-vertex singletons act as plain single searchers.
@@ -283,29 +370,34 @@ std::optional<Edge> AdjacencyOracle::query_segments(PathSeg source, PathSeg targ
   // chains at least one direction is always valid.
   const bool source_descends =
       is_base_vertex(target.top) && base_->is_ancestor(target.top, source.bottom);
+  // Materialize the walked chain once, then assign one logical processor per
+  // chain vertex (Theorem 8's processor allocation) and reduce with the same
+  // deterministic total order the old serial walk used — `better` is total
+  // on (post, source id), so the result is order-independent.
+  const PathSeg walked = source_descends ? target : source;
+  std::vector<Vertex> chain;
+  chain.reserve(static_cast<std::size_t>(base_->depth(walked.bottom) -
+                                         base_->depth(walked.top)) +
+                1);
+  for (Vertex v = walked.bottom;; v = base_->parent(v)) {
+    chain.push_back(v);
+    if (v == walked.top) break;
+  }
   if (!source_descends) {
-    Candidate best;
-    for (Vertex v = source.bottom;; v = base_->parent(v)) {
-      best = better(best, probe_all(v, target, end), end);
-      if (v == source.top) break;
-    }
-    if (!best.valid()) return std::nullopt;
-    return Edge{best.source, best.target};
+    return query_sources(chain, target, end);
   }
-  // Flipped: walk the target chain; each target vertex searches over the
-  // source chain (any hit counts), and we keep the hit nearest the requested
-  // end of the target.
-  Candidate best;
-  for (Vertex q = target.bottom;; q = base_->parent(q)) {
-    const Candidate hit = probe_all(q, source, PathEnd::kTop);
-    if (hit.valid()) {
-      // hit = {post(source-endpoint), q, source-endpoint}; rekey by q's post
-      // so `better` compares positions on the *target*.
-      const Candidate rekeyed{base_->post(q), hit.target, q};
-      best = better(best, rekeyed, end);
-    }
-    if (q == target.top) break;
-  }
+  // Flipped: every target-chain vertex searches over the source chain (any
+  // hit counts); keep the hit nearest the requested end of the target by
+  // rekeying each hit with its target vertex's post.
+  const Candidate best = pram::parallel_reduce(
+      std::size_t{0}, chain.size(), Candidate{},
+      [&](std::size_t i) {
+        const Vertex q = chain[i];
+        const Candidate hit = probe_all(q, source, PathEnd::kTop);
+        if (!hit.valid()) return Candidate{};
+        return Candidate{base_->post(q), hit.target, q};
+      },
+      [end](Candidate a, Candidate b) { return better(a, b, end); });
   if (!best.valid()) return std::nullopt;
   return Edge{best.source, best.target};
 }

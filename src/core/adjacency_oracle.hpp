@@ -107,6 +107,53 @@ class AdjacencyOracle {
   // Query(path, path)). Returns {x in source, y in target}.
   std::optional<Edge> query_segments(PathSeg source, PathSeg target, PathEnd end) const;
 
+  // Smallest-id endpoint of a current (non-deleted) edge from u into the
+  // base subtree rooted at r, or nullopt. A base subtree is a contiguous
+  // post-order window, so this is one binary search plus the usual patch
+  // filtering — the O(1)-searcher primitive behind the role reversal for
+  // Query(subtree, path) when the path is the cheaper side to walk.
+  std::optional<Vertex> probe_into_subtree(Vertex u, Vertex r) const;
+
+  // ---- current-graph adjacency (serial component finish) -------------------
+  // The oracle tracks every graph mutation (builds snapshot the adjacency,
+  // patches record the deltas), so the current neighbor set of u is exactly
+  // base_neighbors(u) minus deleted edges plus extras. The engine's
+  // sub-cutoff serial finish enumerates it through these accessors; the
+  // order (base list by post, then extras in patch order) is fixed, keeping
+  // results thread-count independent.
+  std::span<const Vertex> base_neighbor_list(Vertex u) const {
+    return base_neighbors(u);
+  }
+  std::span<const Vertex> extra_neighbor_list(Vertex u) const {
+    if (!has_extras(u)) return {};
+    return extras_[static_cast<std::size_t>(u)];
+  }
+  // True iff the edge (u, z) currently exists given that it is present in
+  // one of the two lists above.
+  bool edge_alive(Vertex u, Vertex z) const {
+    return !edge_deleted(u, z) && !vertex_dead(z);
+  }
+  // fn(z) for every current neighbor of u, in the fixed order above. The
+  // scan is charged to the cost model like a probe batch, so consumers that
+  // sweep adjacency directly (finish_traversal's grouping and attachment
+  // walks) keep the PRAM work ledger honest.
+  template <typename Fn>
+  void for_each_current_neighbor(Vertex u, Fn&& fn) const {
+    const auto base = base_neighbors(u);
+    std::uint64_t probes = base.size();
+    for (const Vertex z : base) {
+      if (edge_alive(u, z)) fn(z);
+    }
+    if (has_extras(u)) {
+      const auto& ex = extras_[static_cast<std::size_t>(u)];
+      probes += ex.size();
+      for (const Vertex z : ex) {
+        if (edge_alive(u, z)) fn(z);
+      }
+    }
+    if (cost_ != nullptr) cost_->add_query(probes);
+  }
+
   // Cheap existence test built on the above.
   bool segment_has_edge(PathSeg source, PathSeg target) const {
     return query_segments(source, target, PathEnd::kTop).has_value();
@@ -121,8 +168,17 @@ class AdjacencyOracle {
     bool valid() const { return target != kNullVertex; }
   };
 
+  // Both endpoints of a deleted edge carry a flag, so the common case (no
+  // deletions touch u or v) is two byte loads instead of a hash probe —
+  // this sits under every probe and every adjacency enumeration. The flag
+  // is conservative (left set on re-insertion); the hash gives the truth.
+  bool touches_deleted(Vertex v) const {
+    return static_cast<std::size_t>(v) < has_deleted_.size() &&
+           has_deleted_[static_cast<std::size_t>(v)] != 0;
+  }
   bool edge_deleted(Vertex u, Vertex v) const {
-    return !deleted_edges_.empty() && deleted_edges_.contains(undirected_key(u, v));
+    return touches_deleted(u) && touches_deleted(v) &&
+           deleted_edges_.contains(undirected_key(u, v));
   }
   bool vertex_dead(Vertex v) const {
     return static_cast<std::size_t>(v) < dead_.size() && dead_[static_cast<std::size_t>(v)];
@@ -152,17 +208,44 @@ class AdjacencyOracle {
     return {sorted_data_.data() + sorted_offsets_[su],
             static_cast<std::size_t>(sorted_offsets_[su + 1] - sorted_offsets_[su])};
   }
+  // Post index of each base neighbor, parallel to base_neighbors(u): probes
+  // binary-search these contiguous keys directly instead of chasing
+  // base_->post(z) through two indirections per comparison.
+  std::span<const std::int32_t> base_posts(Vertex u) const {
+    const std::size_t su = static_cast<std::size_t>(u);
+    if (su >= built_capacity_) return {};
+    return {sorted_posts_.data() + sorted_offsets_[su],
+            static_cast<std::size_t>(sorted_offsets_[su + 1] - sorted_offsets_[su])};
+  }
+  bool has_extras(Vertex u) const {
+    return static_cast<std::size_t>(u) < has_extras_.size() &&
+           has_extras_[static_cast<std::size_t>(u)] != 0;
+  }
 
+ public:
+  // Sum of owned heap capacities (bytes). The steady-state rebuild reuses
+  // every buffer, so a second build() of the same shape must leave this
+  // unchanged — pinned by tests/test_rebuild.cpp.
+  std::size_t heap_capacity_bytes() const;
+
+ private:
   const TreeIndex* base_ = nullptr;
   Vertex base_capacity_ = 0;
   std::size_t built_capacity_ = 0;  // graph capacity at build time
   std::vector<std::uint32_t> sorted_offsets_;  // size built_capacity_ + 1
   std::vector<Vertex> sorted_data_;
+  std::vector<std::int32_t> sorted_posts_;  // parallel to sorted_data_
   // extras_[u]: endpoints of edges inserted after the build (includes edges
   // of inserted vertices). Small: O(k) per Theorem 9's k <= log n updates.
+  // has_extras_[u] mirrors !extras_[u].empty() so the per-probe fast path is
+  // one byte load instead of a vector header dereference.
   std::vector<std::vector<Vertex>> extras_;
+  std::vector<std::uint8_t> has_extras_;
+  std::vector<std::uint8_t> has_deleted_;
   std::vector<std::uint8_t> dead_;
   std::unordered_set<std::uint64_t> deleted_edges_;
+  std::vector<std::uint64_t> sort_scratch_;    // (post, vertex) pairs, reused
+  std::vector<std::uint32_t> count_scratch_;   // degree counts, reused
   std::size_t patch_count_ = 0;
   mutable pram::CostModel* cost_ = nullptr;
 };

@@ -1,5 +1,7 @@
 #include "core/components.hpp"
 
+#include <cstdlib>
+
 #include "util/check.hpp"
 
 namespace pardfs {
@@ -82,7 +84,41 @@ std::optional<Edge> OracleView::query_piece(const Piece& src, Vertex near,
   std::vector<CurSeg> target;
   decompose(near, far, target);
   if (src.kind == PieceKind::kSubtree) {
-    return query_sources_over_segs(cur_->subtree_span(src.root), target);
+    const auto span = cur_->subtree_span(src.root);
+    // Role reversal when the current tree IS the base tree: the subtree is
+    // one contiguous base post window, so each path vertex can probe INTO it
+    // with a single binary search (probe_into_subtree). Walking the path
+    // from the near end returns the same winner as the one-searcher-per-
+    // subtree-vertex reduction — the first path vertex with a surviving
+    // edge is the nearest-near target, and the probe's min-id endpoint is
+    // the reduction's source-id tie-break — at O(path · log) instead of
+    // O(|subtree| · log) probes. Flip only when the path is the short side.
+    if (identity_ && oracle_->is_base_vertex(src.root) &&
+        oracle_->is_base_vertex(near) && oracle_->is_base_vertex(far)) {
+      const std::size_t path_len = static_cast<std::size_t>(
+          std::abs(cur_->depth(near) - cur_->depth(far))) + 1;
+      if (path_len < span.size()) {
+        const bool near_is_top = cur_->is_ancestor(near, far);
+        if (near_is_top) {
+          for (Vertex q = near;;) {
+            if (auto z = oracle_->probe_into_subtree(q, src.root)) {
+              return Edge{*z, q};
+            }
+            if (q == far) break;
+            q = cur_->child_toward(q, far);
+          }
+        } else {
+          for (Vertex q = near;; q = cur_->parent(q)) {
+            if (auto z = oracle_->probe_into_subtree(q, src.root)) {
+              return Edge{*z, q};
+            }
+            if (q == far) break;
+          }
+        }
+        return std::nullopt;
+      }
+    }
+    return query_sources_over_segs(span, target);
   }
   // Path piece: decompose the source too; for each target segment (in
   // near-to-far order) take the best across source segments.

@@ -1,73 +1,95 @@
 #include "core/dynamic_dfs.hpp"
 
+#include <chrono>
 #include <utility>
 
 #include "baseline/static_dfs.hpp"
 #include "util/check.hpp"
 
 namespace pardfs {
+namespace {
+
+// Scope guard accumulating wall time into one UpdatePhaseBreakdown slot.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(std::uint64_t& slot)
+      : slot_(slot), start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    slot_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  std::uint64_t& slot_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Retired indices kept for buffer reuse: current + epoch base + one in
+// flight. Beyond that (snapshots pinning history) fresh allocations take
+// over.
+constexpr std::size_t kIndexPoolCap = 4;
+
+}  // namespace
 
 DynamicDfs::DynamicDfs(Graph graph, RerootStrategy strategy,
-                       pram::CostModel* cost, int num_threads)
+                       pram::CostModel* cost, int num_threads,
+                       std::int32_t serial_cutoff)
     : graph_(std::move(graph)),
       strategy_(strategy),
       cost_(cost),
-      num_threads_(num_threads) {
+      num_threads_(num_threads),
+      serial_cutoff_(serial_cutoff) {
   parent_ = static_dfs(graph_);
   rebuild_index();
   rebase();
 }
 
-DynamicDfs::DynamicDfs(DynamicDfs&& other) noexcept
-    : graph_(std::move(other.graph_)),
-      parent_(std::move(other.parent_)),
-      index_(std::move(other.index_)),
-      base_index_(std::move(other.base_index_)),
-      oracle_(std::move(other.oracle_)),
-      strategy_(other.strategy_),
-      cost_(other.cost_),
-      num_threads_(other.num_threads_),
-      last_stats_(other.last_stats_),
-      epoch_period_(other.epoch_period_),
-      patch_budget_(other.patch_budget_),
-      structural_since_rebase_(other.structural_since_rebase_),
-      epoch_rebuilds_(other.epoch_rebuilds_),
-      index_rebuilds_(other.index_rebuilds_) {
-  oracle_.rebind_base(&base_index_);
+std::int32_t DynamicDfs::engine_cutoff() const {
+  return serial_cutoff_ < 0 ? Rerooter::default_serial_cutoff(index_->capacity())
+                            : serial_cutoff_;
 }
 
-DynamicDfs& DynamicDfs::operator=(DynamicDfs&& other) noexcept {
-  if (this != &other) {
-    graph_ = std::move(other.graph_);
-    parent_ = std::move(other.parent_);
-    index_ = std::move(other.index_);
-    base_index_ = std::move(other.base_index_);
-    oracle_ = std::move(other.oracle_);
-    strategy_ = other.strategy_;
-    cost_ = other.cost_;
-    num_threads_ = other.num_threads_;
-    last_stats_ = other.last_stats_;
-    epoch_period_ = other.epoch_period_;
-    patch_budget_ = other.patch_budget_;
-    structural_since_rebase_ = other.structural_since_rebase_;
-    epoch_rebuilds_ = other.epoch_rebuilds_;
-    index_rebuilds_ = other.index_rebuilds_;
-    oracle_.rebind_base(&base_index_);
+std::shared_ptr<TreeIndex> DynamicDfs::acquire_index_slot() {
+  for (auto it = index_pool_.begin(); it != index_pool_.end(); ++it) {
+    if (it->use_count() == 1) {
+      // Sole owner is the pool itself, and pooled indices were never handed
+      // out (see retire below), so every past reference was writer-local:
+      // reusing the buffers races with nobody.
+      std::shared_ptr<TreeIndex> slot = std::move(*it);
+      index_pool_.erase(it);
+      return slot;
+    }
   }
-  return *this;
+  return std::make_shared<TreeIndex>();
 }
 
 void DynamicDfs::rebuild_index() {
+  PhaseTimer timer(phases_.index_rebuild_ns);
   parent_.resize(static_cast<std::size_t>(graph_.capacity()), kNullVertex);
-  index_.build(parent_, graph_.alive());
+  std::shared_ptr<TreeIndex> next = acquire_index_slot();
+  next->build(parent_, graph_.alive());
+  // Retire the outgoing index for reuse — unless it escaped through
+  // tree_ptr(): an escaped index may be released on a reader thread, and a
+  // use_count() poll alone does not order that release before our re-build.
+  if (index_ != nullptr && !index_escaped_ && index_pool_.size() < kIndexPoolCap) {
+    index_pool_.push_back(std::move(index_));
+  }
+  index_ = std::move(next);
+  index_escaped_ = false;
   ++index_rebuilds_;
 }
 
 void DynamicDfs::rebase() {
-  // index_ already describes the current forest: snapshot it as the epoch's
-  // base tree and rebuild D over it.
+  PhaseTimer timer(phases_.rebase_ns);
+  // index_ already describes the current forest: alias it as the epoch's
+  // base tree (it is immutable — rebuild_index() swaps in a new object
+  // rather than mutating) and rebuild D over it. No O(n) copy.
   base_index_ = index_;
-  oracle_.build(graph_, base_index_, cost_);
+  oracle_.build(graph_, *base_index_, cost_);
   structural_since_rebase_ = 0;
   ++epoch_rebuilds_;
   const auto n = static_cast<std::uint64_t>(graph_.num_vertices());
@@ -95,7 +117,8 @@ void DynamicDfs::execute(const ReductionResult& reduction, const OracleView& vie
   // parent_ already holds the pre-update forest; reroots overwrite their
   // subtrees, direct assignments patch single slots. The view is shared
   // with the preceding reduction so its decompose memo spans the update.
-  Rerooter engine(index_, view, strategy_, cost_, num_threads_);
+  Rerooter engine(*index_, view, strategy_, cost_, num_threads_,
+                  engine_cutoff());
   last_stats_ = engine.run(reduction.reroots, parent_);
   for (const auto& [v, p] : reduction.direct) {
     parent_[static_cast<std::size_t>(v)] = p;
@@ -105,18 +128,24 @@ void DynamicDfs::execute(const ReductionResult& reduction, const OracleView& vie
 void DynamicDfs::insert_edge(Vertex u, Vertex v) {
   // Checked before the back-edge test, which indexes by vertex id.
   PARDFS_CHECK(graph_.is_alive(u) && graph_.is_alive(v));
-  const bool back = index_.is_ancestor(u, v) || index_.is_ancestor(v, u);
+  const bool back = index_->is_ancestor(u, v) || index_->is_ancestor(v, u);
   // Rebase (if due) against the pre-update graph so the fresh D never holds
   // (u, v) in both its sorted lists and its patch lists.
   if (!back) maybe_rebase();
-  PARDFS_CHECK(graph_.add_edge(u, v));
-  oracle_.note_edge_inserted(u, v);
+  {
+    PhaseTimer timer(phases_.patch_ns);
+    PARDFS_CHECK(graph_.add_edge(u, v));
+    oracle_.note_edge_inserted(u, v);
+  }
   if (back) {
     last_stats_ = {};  // back edge: forest untouched, one patch, no rebuild
     return;
   }
-  const OracleView view(&oracle_, &index_, at_base());
-  execute(reduce_insert_edge(index_, u, v), view);
+  {
+    PhaseTimer timer(phases_.reroot_ns);
+    const OracleView view(&oracle_, index_.get(), at_base());
+    execute(reduce_insert_edge(*index_, u, v), view);
+  }
   finish_structural();
 }
 
@@ -127,26 +156,39 @@ void DynamicDfs::delete_edge(Vertex u, Vertex v) {
   const bool v_parent = parent_[static_cast<std::size_t>(u)] == v;
   const bool tree_edge = u_parent || v_parent;
   if (tree_edge) maybe_rebase();
-  oracle_.note_edge_deleted(u, v);
-  PARDFS_CHECK(graph_.remove_edge(u, v));
+  {
+    PhaseTimer timer(phases_.patch_ns);
+    oracle_.note_edge_deleted(u, v);
+    PARDFS_CHECK(graph_.remove_edge(u, v));
+  }
   if (!tree_edge) {
     last_stats_ = {};  // back edge: forest untouched, one patch, no rebuild
     return;
   }
-  const Vertex parent_side = u_parent ? u : v;
-  const Vertex child_side = u_parent ? v : u;
-  const OracleView view(&oracle_, &index_, at_base());
-  execute(reduce_delete_tree_edge(index_, view, parent_side, child_side), view);
+  {
+    PhaseTimer timer(phases_.reroot_ns);
+    const Vertex parent_side = u_parent ? u : v;
+    const Vertex child_side = u_parent ? v : u;
+    const OracleView view(&oracle_, index_.get(), at_base());
+    execute(reduce_delete_tree_edge(*index_, view, parent_side, child_side), view);
+  }
   finish_structural();
 }
 
 Vertex DynamicDfs::insert_vertex(std::span<const Vertex> neighbors) {
   maybe_rebase();
-  const Vertex v = graph_.add_vertex(neighbors);
-  oracle_.note_vertex_inserted(v, neighbors);
+  Vertex v = kNullVertex;
+  {
+    PhaseTimer timer(phases_.patch_ns);
+    v = graph_.add_vertex(neighbors);
+    oracle_.note_vertex_inserted(v, neighbors);
+  }
   parent_.resize(static_cast<std::size_t>(graph_.capacity()), kNullVertex);
-  const OracleView view(&oracle_, &index_, at_base());
-  execute(reduce_insert_vertex(index_, v, neighbors), view);
+  {
+    PhaseTimer timer(phases_.reroot_ns);
+    const OracleView view(&oracle_, index_.get(), at_base());
+    execute(reduce_insert_vertex(*index_, v, neighbors), view);
+  }
   finish_structural();
   return v;
 }
@@ -155,15 +197,21 @@ void DynamicDfs::delete_vertex(Vertex v) {
   maybe_rebase();
   const auto nbrs = graph_.neighbors(v);
   const std::vector<Vertex> former_neighbors(nbrs.begin(), nbrs.end());
-  std::vector<Vertex> children(index_.children(v).begin(), index_.children(v).end());
+  std::vector<Vertex> children(index_->children(v).begin(), index_->children(v).end());
   const Vertex former_parent = parent_[static_cast<std::size_t>(v)];
-  oracle_.note_vertex_deleted(v, former_neighbors);
-  graph_.remove_vertex(v);
-  const OracleView view(&oracle_, &index_, at_base());
-  const ReductionResult r =
-      reduce_delete_vertex(index_, view, v, children, former_parent);
-  parent_[static_cast<std::size_t>(v)] = kNullVertex;
-  execute(r, view);
+  {
+    PhaseTimer timer(phases_.patch_ns);
+    oracle_.note_vertex_deleted(v, former_neighbors);
+    graph_.remove_vertex(v);
+  }
+  {
+    PhaseTimer timer(phases_.reroot_ns);
+    const OracleView view(&oracle_, index_.get(), at_base());
+    const ReductionResult r =
+        reduce_delete_vertex(*index_, view, v, children, former_parent);
+    parent_[static_cast<std::size_t>(v)] = kNullVertex;
+    execute(r, view);
+  }
   finish_structural();
 }
 
@@ -188,7 +236,7 @@ bool DynamicDfs::is_structural(const GraphUpdate& u) const {
   switch (u.kind) {
     case GraphUpdate::Kind::kInsertEdge:
       PARDFS_CHECK(graph_.is_alive(u.u) && graph_.is_alive(u.v));
-      return !index_.is_ancestor(u.u, u.v) && !index_.is_ancestor(u.v, u.u);
+      return !index_->is_ancestor(u.u, u.v) && !index_->is_ancestor(u.v, u.u);
     case GraphUpdate::Kind::kDeleteEdge:
       PARDFS_CHECK(graph_.is_alive(u.u) && graph_.is_alive(u.v));
       return parent_[static_cast<std::size_t>(u.v)] == u.u ||
@@ -215,53 +263,60 @@ bool DynamicDfs::flush_segment(Segment& seg) {
   // Phase 1: mutate the graph and patch D for the whole segment, collecting
   // the structural changes against the still-pre-batch forest.
   BatchChanges changes;
-  for (const GraphUpdate* op : seg.ops) {
-    switch (op->kind) {
-      case GraphUpdate::Kind::kInsertEdge: {
-        const bool back = index_.is_ancestor(op->u, op->v) ||
-                          index_.is_ancestor(op->v, op->u);
-        PARDFS_CHECK(graph_.add_edge(op->u, op->v));
-        oracle_.note_edge_inserted(op->u, op->v);
-        if (!back) changes.inserted_edges.push_back({op->u, op->v});
-        break;
-      }
-      case GraphUpdate::Kind::kDeleteEdge: {
-        const bool u_parent = parent_[static_cast<std::size_t>(op->v)] == op->u;
-        const bool v_parent = parent_[static_cast<std::size_t>(op->u)] == op->v;
-        oracle_.note_edge_deleted(op->u, op->v);
-        PARDFS_CHECK(graph_.remove_edge(op->u, op->v));
-        if (u_parent) {
-          changes.cut_edges.emplace_back(op->u, op->v);
-        } else if (v_parent) {
-          changes.cut_edges.emplace_back(op->v, op->u);
+  {
+    PhaseTimer timer(phases_.patch_ns);
+    for (const GraphUpdate* op : seg.ops) {
+      switch (op->kind) {
+        case GraphUpdate::Kind::kInsertEdge: {
+          const bool back = index_->is_ancestor(op->u, op->v) ||
+                            index_->is_ancestor(op->v, op->u);
+          PARDFS_CHECK(graph_.add_edge(op->u, op->v));
+          oracle_.note_edge_inserted(op->u, op->v);
+          if (!back) changes.inserted_edges.push_back({op->u, op->v});
+          break;
         }
-        break;
+        case GraphUpdate::Kind::kDeleteEdge: {
+          const bool u_parent = parent_[static_cast<std::size_t>(op->v)] == op->u;
+          const bool v_parent = parent_[static_cast<std::size_t>(op->u)] == op->v;
+          oracle_.note_edge_deleted(op->u, op->v);
+          PARDFS_CHECK(graph_.remove_edge(op->u, op->v));
+          if (u_parent) {
+            changes.cut_edges.emplace_back(op->u, op->v);
+          } else if (v_parent) {
+            changes.cut_edges.emplace_back(op->v, op->u);
+          }
+          break;
+        }
+        case GraphUpdate::Kind::kDeleteVertex: {
+          const Vertex v = op->u;
+          PARDFS_CHECK(graph_.is_alive(v));
+          const auto nbrs = graph_.neighbors(v);
+          const std::vector<Vertex> former_neighbors(nbrs.begin(), nbrs.end());
+          oracle_.note_vertex_deleted(v, former_neighbors);
+          graph_.remove_vertex(v);
+          changes.deleted_vertices.push_back(v);
+          break;
+        }
+        case GraphUpdate::Kind::kInsertVertex:
+          PARDFS_CHECK_MSG(false, "vertex inserts close segments");
+          break;
       }
-      case GraphUpdate::Kind::kDeleteVertex: {
-        const Vertex v = op->u;
-        PARDFS_CHECK(graph_.is_alive(v));
-        const auto nbrs = graph_.neighbors(v);
-        const std::vector<Vertex> former_neighbors(nbrs.begin(), nbrs.end());
-        oracle_.note_vertex_deleted(v, former_neighbors);
-        graph_.remove_vertex(v);
-        changes.deleted_vertices.push_back(v);
-        break;
-      }
-      case GraphUpdate::Kind::kInsertVertex:
-        PARDFS_CHECK_MSG(false, "vertex inserts close segments");
-        break;
     }
   }
   // Phase 2 + 3: one combined reduction, one engine pass.
-  const OracleView view(&oracle_, &index_, at_base());
-  BatchReduction reduction = reduce_batch(index_, view, graph_, changes);
-  Rerooter engine(index_, view, strategy_, cost_, num_threads_);
-  last_stats_ = engine.run_components(std::move(reduction.components), parent_);
-  for (const auto& [v, p] : reduction.direct) {
-    parent_[static_cast<std::size_t>(v)] = p;
-  }
-  for (const Vertex v : changes.deleted_vertices) {
-    parent_[static_cast<std::size_t>(v)] = kNullVertex;
+  {
+    PhaseTimer timer(phases_.reroot_ns);
+    const OracleView view(&oracle_, index_.get(), at_base());
+    BatchReduction reduction = reduce_batch(*index_, view, graph_, changes);
+    Rerooter engine(*index_, view, strategy_, cost_, num_threads_,
+                  engine_cutoff());
+    last_stats_ = engine.run_components(std::move(reduction.components), parent_);
+    for (const auto& [v, p] : reduction.direct) {
+      parent_[static_cast<std::size_t>(v)] = p;
+    }
+    for (const Vertex v : changes.deleted_vertices) {
+      parent_[static_cast<std::size_t>(v)] = kNullVertex;
+    }
   }
   // Phase 4: one O(n) index rebuild for the whole segment.
   structural_since_rebase_ += seg.structural;

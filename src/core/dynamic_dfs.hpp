@@ -19,6 +19,7 @@
 // kept implicit; see reduction.hpp).
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -32,6 +33,17 @@
 #include "tree/tree_index.hpp"
 
 namespace pardfs {
+
+// Cumulative wall-clock breakdown of the update path (nanoseconds), split
+// along the phases the epoch policy trades against each other. Benchmarks
+// export these as per-update counters so BENCH_update.json records where
+// each microsecond goes (EXPERIMENTS.md E13).
+struct UpdatePhaseBreakdown {
+  std::uint64_t patch_ns = 0;          // oracle patches + graph mutation
+  std::uint64_t reroot_ns = 0;         // reduction + rerooting engine passes
+  std::uint64_t index_rebuild_ns = 0;  // O(n) current-tree index rebuilds
+  std::uint64_t rebase_ns = 0;         // epoch boundaries: D rebuild + swap
+};
 
 // Outcome of one DynamicDfs::apply_batch call.
 struct BatchStats {
@@ -51,14 +63,20 @@ class DynamicDfs {
   // forest with the static O(m + n) algorithm and preprocesses D.
   // `num_threads` caps the rerooting engine's worker team (0 = the pram
   // facade default); the maintained forest is identical at any value.
+  // `serial_cutoff` feeds the engine's Brent-style completion of sub-cutoff
+  // components (see Rerooter): -1 = Rerooter::default_serial_cutoff, 0 = off
+  // (pure per-round query machinery; the CONGEST simulation and cost-model
+  // tests need the paper's round structure unchanged).
   explicit DynamicDfs(Graph graph,
                       RerootStrategy strategy = RerootStrategy::kPaper,
-                      pram::CostModel* cost = nullptr, int num_threads = 0);
+                      pram::CostModel* cost = nullptr, int num_threads = 0,
+                      std::int32_t serial_cutoff = -1);
 
-  // Movable (the embedded oracle is re-pointed at the moved base index);
-  // copying would duplicate megabytes silently, so it is disabled.
-  DynamicDfs(DynamicDfs&& other) noexcept;
-  DynamicDfs& operator=(DynamicDfs&& other) noexcept;
+  // Movable: the base index is held by shared_ptr, so its address — and the
+  // oracle's pointer to it — survives the move untouched. Copying would
+  // duplicate megabytes silently, so it is disabled.
+  DynamicDfs(DynamicDfs&& other) noexcept = default;
+  DynamicDfs& operator=(DynamicDfs&& other) noexcept = default;
   DynamicDfs(const DynamicDfs&) = delete;
   DynamicDfs& operator=(const DynamicDfs&) = delete;
 
@@ -85,10 +103,21 @@ class DynamicDfs {
   const Graph& graph() const { return graph_; }
   std::span<const Vertex> parent() const { return parent_; }
   Vertex parent_of(Vertex v) const { return parent_[static_cast<std::size_t>(v)]; }
-  Vertex root_of(Vertex v) const { return index_.root_of(v); }
-  const TreeIndex& tree() const { return index_; }
+  Vertex root_of(Vertex v) const { return index_->root_of(v); }
+  const TreeIndex& tree() const { return *index_; }
+  // Shared ownership of the current index (service snapshots). The object is
+  // immutable: rebuilds produce a new TreeIndex instead of mutating a shared
+  // one, so holders may read it from any thread indefinitely. A handed-out
+  // index is permanently excluded from the internal recycling pool (its
+  // release may happen on a reader thread; see rebuild_index()).
+  std::shared_ptr<const TreeIndex> tree_ptr() const {
+    index_escaped_ = true;
+    return index_;
+  }
   // Statistics of the most recent update's rerooting.
   const RerootStats& last_stats() const { return last_stats_; }
+  // Cumulative wall-clock phase breakdown since construction (E13).
+  const UpdatePhaseBreakdown& phase_breakdown() const { return phases_; }
 
   // ---- epoch state (tested / benchmarked) ----------------------------------
   // Full base-tree + D rebuilds so far, including the constructor's initial
@@ -111,6 +140,8 @@ class DynamicDfs {
     std::size_t structural = 0;
   };
 
+  // Resolved Brent cutoff for the engine (-1 = capacity-derived default).
+  std::int32_t engine_cutoff() const;
   void rebase();            // epoch boundary: base tree + D rebuild, O(m log n)
   void maybe_rebase();      // epoch policy; runs before structural work
   void rebuild_index();     // current-tree index only, O(n)
@@ -127,15 +158,27 @@ class DynamicDfs {
   // accumulated), so oracle queries need no Theorem 9 path decomposition.
   bool at_base() const { return structural_since_rebase_ == 0; }
 
+  // A recycled (count == 1, never handed out) or fresh TreeIndex to build
+  // the next current forest into. Keeps the steady-state rebuild
+  // allocation-free: capacities of a retired index carry over.
+  std::shared_ptr<TreeIndex> acquire_index_slot();
+
   Graph graph_;
   std::vector<Vertex> parent_;
-  TreeIndex index_;       // current forest
-  TreeIndex base_index_;  // epoch snapshot D is built over
+  // Current forest and the epoch snapshot D is built over. Both are
+  // immutable once built; rebase() aliases instead of deep-copying, and
+  // retired indices rotate through index_pool_ for buffer reuse.
+  std::shared_ptr<TreeIndex> index_;
+  std::shared_ptr<const TreeIndex> base_index_;
+  std::vector<std::shared_ptr<TreeIndex>> index_pool_;
+  mutable bool index_escaped_ = false;  // current index_ was handed out
   AdjacencyOracle oracle_;
   RerootStrategy strategy_;
   pram::CostModel* cost_;
   int num_threads_ = 0;
+  std::int32_t serial_cutoff_ = -1;
   RerootStats last_stats_;
+  UpdatePhaseBreakdown phases_;
   std::size_t epoch_period_ = 1;
   std::size_t patch_budget_ = 1;
   std::size_t structural_since_rebase_ = 0;

@@ -78,7 +78,8 @@ void FaultTolerantDfs::execute(const ReductionResult& reduction) {
   // before touching D (Theorem 9).
   const bool identity = updates_applied_ == 0;
   const OracleView view(&oracle_, &index_, identity);
-  Rerooter engine(index_, view, RerootStrategy::kPaper, cost_, num_threads_);
+  Rerooter engine(index_, view, RerootStrategy::kPaper, cost_, num_threads_,
+                  Rerooter::default_serial_cutoff(index_.capacity()));
   last_stats_ = engine.run(reduction.reroots, parent_);
   for (const auto& [v, p] : reduction.direct) {
     parent_[static_cast<std::size_t>(v)] = p;

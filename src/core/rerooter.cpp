@@ -24,6 +24,7 @@ void RerootStats::accumulate(const RerootStats& other) {
   heavy_r += other.heavy_r;
   heavy_special += other.heavy_special;
   fallbacks += other.fallbacks;
+  serial_finishes += other.serial_finishes;
   max_phase = std::max(max_phase, other.max_phase);
 }
 
@@ -62,8 +63,14 @@ ChainHit best_edge_to_chain(EngineCtx& ctx, std::span<const Piece> pieces,
                             const std::vector<Vertex>& chain,
                             const std::vector<Run>& runs) {
   ChainHit best;
-  for (const Piece& piece : pieces) {
-    for (const Run& run : runs) {
+  // Runs partition the chain into disjoint, increasing position ranges, so
+  // ANY hit in a later run beats every hit in an earlier one. Scanning runs
+  // in descending position with an early exit returns the same winner as the
+  // full pieces × runs sweep while skipping most of it — components attach
+  // near the retreat end, so the last run usually decides.
+  for (auto rit = runs.rbegin(); rit != runs.rend(); ++rit) {
+    const Run& run = *rit;
+    for (const Piece& piece : pieces) {
       // Prefer endpoints nearest the run's late end (largest chain position).
       const auto hit =
           ctx.view().query_piece(piece, chain[run.last], chain[run.first]);
@@ -83,6 +90,7 @@ ChainHit best_edge_to_chain(EngineCtx& ctx, std::span<const Piece> pieces,
         best = {*hit, pos};
       }
     }
+    if (best.valid()) break;
   }
   // Batch accounting happens at the call sites: queries for different
   // groups are independent (disjoint sources) and share one set per run.
@@ -91,9 +99,88 @@ ChainHit best_edge_to_chain(EngineCtx& ctx, std::span<const Piece> pieces,
 
 namespace {
 
-bool piece_contains(const TreeIndex& cur, const Piece& p, Vertex x) {
-  if (p.kind == PieceKind::kSubtree) return cur.is_ancestor(p.root, x);
-  return cur.is_ancestor(p.top, x) && cur.is_ancestor(x, p.bottom);
+std::int32_t piece_size(const TreeIndex& cur, const Piece& p) {
+  if (p.kind == PieceKind::kSubtree) return cur.size(p.root);
+  return cur.depth(p.bottom) - cur.depth(p.top) + 1;
+}
+
+std::int32_t component_size(const TreeIndex& cur, const Component& comp) {
+  std::int32_t total = 0;
+  for (const Piece& p : comp.pieces) total += piece_size(cur, p);
+  return total;
+}
+
+// Brent-style completion of a sub-cutoff component: one processor performs a
+// plain DFS of the component's induced subgraph from its entry. Any DFS of
+// the component is a valid completion (components property: external edges
+// lead to T* ancestors of the entry), the oracle's patched adjacency IS the
+// current graph's, and the neighbor order is fixed — so the result is
+// deterministic and thread-count independent. No query batches are issued.
+void serial_finish(detail::EngineCtx& ctx, const Component& comp,
+                   std::span<Vertex> parent_out) {
+  const TreeIndex& cur = ctx.cur();
+  const AdjacencyOracle& oracle = ctx.view().oracle();
+  // Membership marks: the DFS must not escape the component.
+  ctx.begin_mark();
+  std::size_t total = 0;
+  for (const Piece& p : comp.pieces) {
+    if (p.kind == PieceKind::kSubtree) {
+      const auto span = cur.subtree_span(p.root);
+      for (const Vertex v : span) ctx.mark(v);
+      total += span.size();
+    } else {
+      for (Vertex v = p.bottom;; v = cur.parent(v)) {
+        ctx.mark(v);
+        ++total;
+        if (v == p.top) break;
+      }
+    }
+  }
+  // Graph neighbors can be vertices inserted after the current index was
+  // built (ids at or beyond its capacity); they are never component members,
+  // and their mark slots do not exist.
+  const Vertex cap = cur.capacity();
+  ctx.begin_visit();
+  auto& stack = ctx.dfs_scratch();
+  stack.clear();
+  parent_out[static_cast<std::size_t>(comp.entry)] = comp.attach_parent;
+  ctx.visit(comp.entry);
+  stack.push_back({comp.entry, 0, 0});
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    auto& frame = stack.back();
+    const Vertex v = frame.v;
+    Vertex child = kNullVertex;
+    const auto base = oracle.base_neighbor_list(v);
+    while (frame.base_i < base.size()) {
+      const Vertex z = base[frame.base_i++];
+      if (z < cap && ctx.marked(z) && !ctx.visited(z) && oracle.edge_alive(v, z)) {
+        child = z;
+        break;
+      }
+    }
+    if (child == kNullVertex) {
+      const auto extras = oracle.extra_neighbor_list(v);
+      while (frame.extra_i < extras.size()) {
+        const Vertex z = extras[frame.extra_i++];
+        if (z < cap && ctx.marked(z) && !ctx.visited(z) && oracle.edge_alive(v, z)) {
+          child = z;
+          break;
+        }
+      }
+    }
+    if (child != kNullVertex) {
+      parent_out[static_cast<std::size_t>(child)] = v;
+      ctx.visit(child);
+      ++visited;
+      stack.push_back({child, 0, 0});
+    } else {
+      stack.pop_back();
+    }
+  }
+  PARDFS_CHECK_MSG(visited == total, "serial finish: component not connected");
+  ctx.stats().vertices_traversed += total;
+  ++ctx.stats().serial_finishes;
 }
 
 // Union-find over piece indices (tiny, path-halving only).
@@ -139,27 +226,66 @@ void finish_traversal(detail::EngineCtx& ctx, const Component& comp,
 
   // Group leftover pieces: only (subtree|path) <-> path edges can exist
   // (subtree-subtree edges would be cross edges of the current DFS tree).
+  // The PRAM formulation is one batch of pairwise piece-to-path queries;
+  // serially the same partition comes out of one sweep over the path
+  // pieces' adjacency (the oracle's patched lists ARE the current graph):
+  // map every neighbor of a path vertex back to its containing piece —
+  // path pieces by a stamped vertex map, subtree pieces by binary search
+  // over their disjoint pre-order intervals — and union the pair. The
+  // union-find partition, and with it the emitted component order, is
+  // edge-set determined, so the result is identical to the pairwise-query
+  // sweep at a fraction of the probes.
   const std::size_t k = plan.leftovers.size();
   std::vector<std::size_t> path_idx;
   for (std::size_t i = 0; i < k; ++i) {
     if (plan.leftovers[i].kind == PieceKind::kPath) path_idx.push_back(i);
   }
-  MiniUf uf(k);
-  if (!path_idx.empty()) {
-    for (std::size_t i = 0; i < k; ++i) {
-      const Piece& pi = plan.leftovers[i];
-      for (const std::size_t p : path_idx) {
-        if (p == i) continue;
-        if (pi.kind == PieceKind::kPath && p < i) continue;  // pairs once
-        const Piece& pp = plan.leftovers[p];
-        if (ctx.view().piece_has_edge(pi, pp.top, pp.bottom)) uf.unite(i, p);
+
+  // Vertex -> containing leftover piece, as a stamped O(1) map: the walks
+  // below touch every neighbor of every chain/path vertex, so the lookup
+  // must be loads, not searches. Stamping costs O(total leftover size) —
+  // the same order as the leftovers' own construction.
+  ctx.begin_piece_map();
+  for (std::size_t i = 0; i < k; ++i) {
+    const Piece& p = plan.leftovers[i];
+    if (p.kind == PieceKind::kSubtree) {
+      for (const Vertex v : cur.subtree_span(p.root)) {
+        ctx.map_piece(v, static_cast<std::int32_t>(i));
+      }
+    } else {
+      for (Vertex v = p.bottom;; v = cur.parent(v)) {
+        ctx.map_piece(v, static_cast<std::int32_t>(i));
+        if (v == p.top) break;
       }
     }
-    ctx.count_batch();  // grouping = one set of independent queries
+  }
+  const AdjacencyOracle& oracle = ctx.view().oracle();
+  const Vertex cap = cur.capacity();
+  const auto piece_of = [&](Vertex z) -> std::int32_t {
+    if (z < 0 || z >= cap) return -1;
+    return ctx.piece_at(z);
+  };
+
+  MiniUf uf(k);
+  if (!path_idx.empty()) {
+    for (const std::size_t p : path_idx) {
+      const Piece& pp = plan.leftovers[p];
+      for (Vertex v = pp.bottom;; v = cur.parent(v)) {
+        oracle.for_each_current_neighbor(v, [&](Vertex z) {
+          const std::int32_t j = piece_of(z);
+          if (j >= 0 && j != static_cast<std::int32_t>(p)) {
+            uf.unite(static_cast<std::size_t>(p), static_cast<std::size_t>(j));
+          }
+        });
+        if (v == pp.top) break;
+      }
+    }
+    ctx.count_batch();  // grouping = one logical set of independent queries
   }
 
-  // Gather groups.
+  // Gather groups and each piece's group id.
   std::vector<std::vector<std::size_t>> groups;
+  std::vector<std::int32_t> group_of_piece(k, -1);
   {
     std::vector<std::int32_t> group_of(k, -1);
     for (std::size_t i = 0; i < k; ++i) {
@@ -168,31 +294,61 @@ void finish_traversal(detail::EngineCtx& ctx, const Component& comp,
         group_of[r] = static_cast<std::int32_t>(groups.size());
         groups.emplace_back();
       }
+      group_of_piece[i] = group_of[r];
       groups[static_cast<std::size_t>(group_of[r])].push_back(i);
     }
   }
 
-  // Attachment queries: all groups are sourced from disjoint pieces, so for
-  // each run of p* they form ONE set of independent queries.
+  // Attachment edges. The PRAM formulation issues, per run of p*, one set of
+  // independent queries (all groups are sourced from disjoint pieces) and
+  // keeps, per group, the hit of largest chain position — ties broken by
+  // (u asc, v asc). One serial walk of p* from its late end computes the
+  // same winners for EVERY group at once: the first chain vertex q with an
+  // edge into a group fixes that group's position (q), and the smallest
+  // piece-side endpoint among q's edges into the group is the paper's
+  // tie-break. The oracle's patched adjacency lists are exactly the current
+  // graph, so the edge universe is identical to the query sweep's.
   for (std::size_t b = 0; b < runs.size(); ++b) ctx.count_batch();
-  for (const auto& group : groups) {
-    std::vector<Piece> pieces;
-    pieces.reserve(group.size());
-    for (const std::size_t i : group) pieces.push_back(plan.leftovers[i]);
-    const detail::ChainHit hit =
-        detail::best_edge_to_chain(ctx, pieces, plan.pstar, runs);
-    PARDFS_CHECK_MSG(hit.valid(), "leftover component has no edge to p*");
-    Component nc;
-    nc.entry = hit.edge.u;
-    nc.attach_parent = hit.edge.v;
-    nc.budget = comp.budget;
-    nc.pieces = std::move(pieces);
-    nc.entry_piece = -1;
-    for (std::size_t i = 0; i < nc.pieces.size(); ++i) {
-      if (piece_contains(cur, nc.pieces[i], nc.entry)) {
-        nc.entry_piece = static_cast<std::int32_t>(i);
-        break;
+  struct GroupAttach {
+    Vertex entry = kNullVertex;   // u: piece-side endpoint
+    Vertex attach = kNullVertex;  // v = q on p*
+    std::int32_t entry_piece = -1;
+  };
+  std::vector<GroupAttach> attach(groups.size());
+  std::size_t unattached = groups.size();
+  for (std::size_t idx = plan.pstar.size(); idx-- > 0 && unattached > 0;) {
+    const Vertex q = plan.pstar[idx];
+    oracle.for_each_current_neighbor(q, [&](Vertex z) {
+      const std::int32_t j = piece_of(z);
+      if (j < 0) return;
+      GroupAttach& a = attach[static_cast<std::size_t>(group_of_piece[j])];
+      if (a.attach == q) {
+        if (z < a.entry) {
+          a.entry = z;
+          a.entry_piece = j;
+        }
+      } else if (a.attach == kNullVertex) {
+        a = {z, q, j};
+        --unattached;
       }
+    });
+  }
+
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    const GroupAttach& a = attach[gi];
+    PARDFS_CHECK_MSG(a.attach != kNullVertex,
+                     "leftover component has no edge to p*");
+    Component nc;
+    nc.entry = a.entry;
+    nc.attach_parent = a.attach;
+    nc.budget = comp.budget;
+    nc.pieces.reserve(groups[gi].size());
+    nc.entry_piece = -1;
+    for (const std::size_t i : groups[gi]) {
+      if (static_cast<std::int32_t>(i) == a.entry_piece) {
+        nc.entry_piece = static_cast<std::int32_t>(nc.pieces.size());
+      }
+      nc.pieces.push_back(plan.leftovers[i]);
     }
     PARDFS_CHECK_MSG(nc.entry_piece >= 0, "entry vertex not inside any piece");
     next.push_back(std::move(nc));
@@ -204,12 +360,22 @@ void finish_traversal(detail::EngineCtx& ctx, const Component& comp,
 
 Rerooter::Rerooter(const TreeIndex& current, const OracleView& view,
                    RerootStrategy strategy, pram::CostModel* cost,
-                   int num_threads)
+                   int num_threads, std::int32_t serial_cutoff)
     : cur_(current),
       view_(view),
       strategy_(strategy),
       cost_(cost),
-      num_threads_(num_threads) {}
+      num_threads_(num_threads),
+      serial_cutoff_(serial_cutoff) {}
+
+std::int32_t Rerooter::default_serial_cutoff(Vertex capacity) {
+  const std::uint64_t n = static_cast<std::uint64_t>(capacity);
+  const std::uint64_t logn = n > 1 ? 64 - __builtin_clzll(n - 1) : 1;
+  // 4 log² n: deep enough to absorb the tail of tiny components a large
+  // reroot disintegrates into, shallow enough that one processor finishes
+  // it inside the engine's O(polylog) depth budget.
+  return static_cast<std::int32_t>(4 * logn * logn);
+}
 
 RerootStats Rerooter::run(std::span<const RerootRequest> requests,
                           std::span<Vertex> parent_out) {
@@ -270,6 +436,12 @@ RerootStats Rerooter::run_components(std::vector<Component> active,
     const auto step = [&](detail::EngineCtx& ctx, std::size_t i) {
       ++ctx.stats().components_processed;
       ctx.begin_step();
+      if (serial_cutoff_ > 0 &&
+          detail::component_size(cur_, active[i]) <= serial_cutoff_) {
+        detail::serial_finish(ctx, active[i], parent_out);
+        comp_batches[i] = 0;
+        return;
+      }
       detail::TraversalPlan plan =
           detail::plan_traversal(ctx, active[i], strategy_);
       detail::finish_traversal(ctx, active[i], std::move(plan), parent_out,

@@ -67,6 +67,7 @@ struct RerootStats {
   std::uint64_t heavy_r = 0;
   std::uint64_t heavy_special = 0;  // special-case hits (handled by fallback)
   std::uint64_t fallbacks = 0;      // degenerate inputs absorbed by DisInt
+  std::uint64_t serial_finishes = 0;  // sub-cutoff components finished directly
   std::uint32_t max_phase = 0;
 
   void accumulate(const RerootStats& other);
@@ -81,8 +82,26 @@ class Rerooter {
   // in component order, and every tie inside a step breaks on a total order.
   // Only the logical cost model's semantics (rounds, not threads) are
   // recorded, so the knob is pure wall-clock.
+  //
+  // `serial_cutoff` (0 = disabled): a component whose total vertex count is
+  // at most the cutoff is finished by ONE logical processor as a direct DFS
+  // of its induced subgraph — Brent-style processor reallocation. The paper
+  // splits components with query batches until they are empty; once a
+  // component is below polylog size, a single processor finishes it within
+  // the same O(polylog) depth budget without any further query rounds, and
+  // serially it skips the entire per-round query machinery. Any DFS of the
+  // component rooted at its entry is a valid completion (the components
+  // property, Lemma 1: all external edges lead to ancestors of the entry),
+  // and the neighbor enumeration order is fixed, so results stay
+  // deterministic at every thread count. The update wrappers pass
+  // default_serial_cutoff(); raw engine users default to the pure paper
+  // machinery.
   Rerooter(const TreeIndex& current, const OracleView& view, RerootStrategy strategy,
-           pram::CostModel* cost = nullptr, int num_threads = 0);
+           pram::CostModel* cost = nullptr, int num_threads = 0,
+           std::int32_t serial_cutoff = 0);
+
+  // Θ(log² n) — the depth one serially-finished component may add.
+  static std::int32_t default_serial_cutoff(Vertex capacity);
 
   // Executes all reroots (they must target disjoint subtrees). parent_out
   // must be pre-filled with the current tree's parent array; entries inside
@@ -104,6 +123,7 @@ class Rerooter {
   RerootStrategy strategy_;
   pram::CostModel* cost_;
   int num_threads_;
+  std::int32_t serial_cutoff_;
 };
 
 }  // namespace pardfs

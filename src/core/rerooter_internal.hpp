@@ -46,6 +46,9 @@ class EngineCtx {
     mark_stamp_.assign(static_cast<std::size_t>(cur.capacity()), 0);
     pos_stamp_.assign(static_cast<std::size_t>(cur.capacity()), 0);
     pos_val_.assign(static_cast<std::size_t>(cur.capacity()), -1);
+    visit_stamp_.assign(static_cast<std::size_t>(cur.capacity()), 0);
+    piece_stamp_.assign(static_cast<std::size_t>(cur.capacity()), 0);
+    piece_val_.assign(static_cast<std::size_t>(cur.capacity()), -1);
   }
 
   const TreeIndex& cur() const { return cur_; }
@@ -73,6 +76,32 @@ class EngineCtx {
                : -1;
   }
 
+  // ---- piece-id map (direct grouping in finish_traversal) ------------------
+  void begin_piece_map() { ++piece_generation_; }
+  void map_piece(Vertex v, std::int32_t piece) {
+    piece_stamp_[static_cast<std::size_t>(v)] = piece_generation_;
+    piece_val_[static_cast<std::size_t>(v)] = piece;
+  }
+  std::int32_t piece_at(Vertex v) const {
+    return piece_stamp_[static_cast<std::size_t>(v)] == piece_generation_
+               ? piece_val_[static_cast<std::size_t>(v)]
+               : -1;
+  }
+
+  // ---- visited scratch (serial component finish) ---------------------------
+  void begin_visit() { ++visit_generation_; }
+  void visit(Vertex v) { visit_stamp_[static_cast<std::size_t>(v)] = visit_generation_; }
+  bool visited(Vertex v) const {
+    return visit_stamp_[static_cast<std::size_t>(v)] == visit_generation_;
+  }
+  // Reusable DFS stack of (vertex, base cursor, extra cursor) frames.
+  struct DfsFrame {
+    Vertex v;
+    std::uint32_t base_i;
+    std::uint32_t extra_i;
+  };
+  std::vector<DfsFrame>& dfs_scratch() { return dfs_scratch_; }
+
   // ---- query batch accounting ----------------------------------------------
   void begin_step() { step_batches_ = 0; }
   void count_batch() { ++step_batches_; }
@@ -82,9 +111,13 @@ class EngineCtx {
   const TreeIndex& cur_;
   const OracleView view_;  // by value: the decompose memo is per-worker
   RerootStats stats_;      // per-worker; merged by the engine
-  std::vector<std::int32_t> mark_stamp_, pos_stamp_, pos_val_;
+  std::vector<std::int32_t> mark_stamp_, pos_stamp_, pos_val_, visit_stamp_;
+  std::vector<std::int32_t> piece_stamp_, piece_val_;
+  std::vector<DfsFrame> dfs_scratch_;
   std::int32_t generation_ = 0;
   std::int32_t pos_generation_ = 0;
+  std::int32_t visit_generation_ = 0;
+  std::int32_t piece_generation_ = 0;
   std::uint32_t step_batches_ = 0;
 };
 

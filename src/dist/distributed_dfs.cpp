@@ -96,7 +96,10 @@ std::vector<std::optional<Edge>> answer_queries_distributed(
 }
 
 DistributedDfs::DistributedDfs(Graph g, std::int32_t message_words)
-    : dfs_(std::move(g)) {
+    // serial_cutoff = 0: the CONGEST cost mapping derives rounds from the
+    // engine's query-set structure; a Brent-style serial completion has no
+    // zero-round distributed counterpart.
+    : dfs_(std::move(g), RerootStrategy::kPaper, nullptr, 0, 0) {
   const Graph& gr = dfs_.graph();
   if (message_words > 0) {
     b_ = message_words;

@@ -80,9 +80,10 @@ void DfsService::publish(bool forest_unchanged) {
     auto fresh = std::make_shared<DfsSnapshot::Forest>();
     fresh->parent.assign(dfs_.parent().begin(), dfs_.parent().end());
     fresh->alive.assign(g.alive().begin(), g.alive().end());
-    // The core's index was rebuilt by apply_batch an instant ago; copying it
-    // is cheaper than rebuilding and keeps publication allocation-only.
-    fresh->index = dfs_.tree();
+    // Share the core's freshly rebuilt index: rebuilds swap in a new
+    // TreeIndex object rather than mutating this one, so readers may hold
+    // it indefinitely and publication stops cloning megabytes per batch.
+    fresh->index = dfs_.tree_ptr();
     fresh->num_vertices = g.num_vertices();
     forest = std::move(fresh);
   }

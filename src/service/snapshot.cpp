@@ -13,13 +13,13 @@ DfsSnapshot::DfsSnapshot(std::uint64_t version, std::uint64_t updates_applied,
       updates_applied_(updates_applied),
       forest_(std::move(forest)),
       num_edges_(num_edges) {
-  PARDFS_CHECK(forest_ != nullptr);
+  PARDFS_CHECK(forest_ != nullptr && forest_->index != nullptr);
 }
 
 std::vector<Vertex> DfsSnapshot::path_to_root(Vertex v) const {
   std::vector<Vertex> out;
   if (!contains(v)) return out;
-  out.reserve(static_cast<std::size_t>(forest_->index.depth(v)) + 1);
+  out.reserve(static_cast<std::size_t>(forest_->index->depth(v)) + 1);
   for (Vertex cur = v; cur != kNullVertex;
        cur = forest_->parent[static_cast<std::size_t>(cur)]) {
     out.push_back(cur);

@@ -30,11 +30,15 @@ class DfsSnapshot {
   // The forest-shaped part of a snapshot. Patch-only batches (back-edge
   // inserts/deletes) change num_edges and the version but not the forest,
   // so consecutive snapshots share one immutable Forest instead of paying
-  // three O(n) copies per publish (see DfsService::publish).
+  // O(n) copies per publish (see DfsService::publish). The TreeIndex is
+  // shared with the core: DynamicDfs rebuilds produce a NEW index object
+  // instead of mutating the published one, so structural-batch publication
+  // is a pointer copy, not a megabyte clone.
   struct Forest {
     std::vector<Vertex> parent;
     std::vector<std::uint8_t> alive;
-    TreeIndex index;  // must be built over exactly this parent/alive pair
+    // Built over exactly this parent/alive pair; immutable while shared.
+    std::shared_ptr<const TreeIndex> index;
     Vertex num_vertices = 0;
   };
 
@@ -53,7 +57,7 @@ class DfsSnapshot {
   Vertex num_vertices() const { return forest_->num_vertices; }
   std::int64_t num_edges() const { return num_edges_; }
   std::span<const Vertex> parent() const { return forest_->parent; }
-  const TreeIndex& tree() const { return forest_->index; }
+  const TreeIndex& tree() const { return *forest_->index; }
   const std::shared_ptr<const Forest>& forest() const { return forest_; }
 
   // ---- queries (all total; see header comment) -----------------------------
@@ -66,23 +70,23 @@ class DfsSnapshot {
                        : kNullVertex;
   }
   Vertex root_of(Vertex v) const {
-    return contains(v) ? forest_->index.root_of(v) : kNullVertex;
+    return contains(v) ? forest_->index->root_of(v) : kNullVertex;
   }
   std::int32_t depth(Vertex v) const {
-    return contains(v) ? forest_->index.depth(v) : -1;
+    return contains(v) ? forest_->index->depth(v) : -1;
   }
   std::int32_t subtree_size(Vertex v) const {
-    return contains(v) ? forest_->index.size(v) : 0;
+    return contains(v) ? forest_->index->size(v) : 0;
   }
   bool is_ancestor(Vertex a, Vertex d) const {
-    return contains(a) && contains(d) && forest_->index.is_ancestor(a, d);
+    return contains(a) && contains(d) && forest_->index->is_ancestor(a, d);
   }
   Vertex lca(Vertex u, Vertex v) const {
-    return contains(u) && contains(v) ? forest_->index.lca(u, v) : kNullVertex;
+    return contains(u) && contains(v) ? forest_->index->lca(u, v) : kNullVertex;
   }
   bool same_component(Vertex u, Vertex v) const {
     return contains(u) && contains(v) &&
-           forest_->index.root_of(u) == forest_->index.root_of(v);
+           forest_->index->root_of(u) == forest_->index->root_of(v);
   }
   // Vertices from v up to its tree root, inclusive; empty if v is unknown.
   std::vector<Vertex> path_to_root(Vertex v) const;

@@ -19,15 +19,25 @@ constexpr std::uint32_t up_edge(Vertex v) { return 2u * static_cast<std::uint32_
 
 }  // namespace
 
-EulerTourResult euler_tour(std::span<const Vertex> parent,
-                           std::span<const std::uint8_t> alive) {
+namespace {
+
+// Shared construction: fills `r` always; when `tables` is non-null, also
+// materializes the vertex-sequence tour (root-id tree order, exactly the
+// serial DFS emission — see EulerTourTables).
+void tour_impl(std::span<const Vertex> parent, std::span<const std::uint8_t> alive,
+               EulerTourResult& r, EulerTourTables* tables) {
   const std::size_t n = parent.size();
-  EulerTourResult r;
   r.pre.assign(n, -1);
   r.post.assign(n, -1);
   r.depth.assign(n, -1);
   r.size.assign(n, 0);
-  if (n == 0) return r;
+  if (tables != nullptr) {
+    tables->euler.clear();
+    tables->euler_depth.clear();
+    tables->first_pos.assign(n, -1);
+    tables->root_of.assign(n, kNullVertex);
+  }
+  if (n == 0) return;
 
   auto is_alive = [&](std::size_t v) { return alive.empty() || alive[v] != 0; };
 
@@ -216,7 +226,65 @@ EulerTourResult euler_tour(std::span<const Vertex> parent,
           static_cast<std::uint32_t>(r.post[sv]) - base_up + tree_offset[root]);
     }
   });
+
+  if (tables != nullptr) {
+    // Vertex-sequence tour: per tree 2*size-1 slots (root first, then the
+    // entered vertex of each down edge and the parent of each up edge),
+    // trees concatenated in root-id order — the serial DFS emission.
+    std::vector<std::uint32_t> vseq_offset(n, 0);
+    std::uint32_t vseq_total = 0;
+    for (std::size_t sv = 0; sv < n; ++sv) {
+      if (is_alive(sv) && parent[sv] == kNullVertex) {
+        vseq_offset[sv] = vseq_total;
+        vseq_total += 2 * tree_sizes[sv] - 1;
+      }
+    }
+    tables->euler.assign(vseq_total, kNullVertex);
+    tables->euler_depth.assign(vseq_total, 0);
+    pram::parallel_for_t(0, n, [&](std::size_t sv) {
+      if (!is_alive(sv)) return;
+      const Vertex v = static_cast<Vertex>(sv);
+      const std::size_t root = static_cast<std::size_t>(root_of[sv]);
+      const std::uint32_t vo = vseq_offset[root];
+      if (parent[sv] == kNullVertex) {
+        tables->euler[vo] = v;
+        tables->euler_depth[vo] = 0;
+        tables->first_pos[sv] = static_cast<std::int32_t>(vo);
+      } else {
+        const std::size_t pd = vo + 1 + position(down_edge(v), v);
+        const std::size_t pu = vo + 1 + position(up_edge(v), v);
+        tables->euler[pd] = v;
+        tables->euler_depth[pd] = r.depth[sv];
+        tables->first_pos[sv] = static_cast<std::int32_t>(pd);
+        const Vertex p = parent[sv];
+        tables->euler[pu] = p;
+        tables->euler_depth[pu] = r.depth[static_cast<std::size_t>(p)];
+      }
+    });
+    tables->root_of.assign(root_of.begin(), root_of.end());
+  }
+}
+
+}  // namespace
+
+EulerTourResult euler_tour(std::span<const Vertex> parent,
+                           std::span<const std::uint8_t> alive) {
+  EulerTourResult r;
+  tour_impl(parent, alive, r, nullptr);
   return r;
+}
+
+EulerTourTables euler_tour_tables(std::span<const Vertex> parent,
+                                  std::span<const std::uint8_t> alive) {
+  EulerTourTables t;
+  tour_impl(parent, alive, t.result, &t);
+  return t;
+}
+
+void euler_tour_tables_into(std::span<const Vertex> parent,
+                            std::span<const std::uint8_t> alive,
+                            EulerTourTables& out) {
+  tour_impl(parent, alive, out.result, &out);
 }
 
 }  // namespace pardfs

@@ -26,9 +26,35 @@ struct EulerTourResult {
   std::vector<std::int32_t> size;   // 0 for vertices outside the forest
 };
 
+// The vertex-sequence Euler tour on top of EulerTourResult — per tree of the
+// forest, root first, then one vertex per directed tree edge (the entered
+// vertex for a down edge, the parent for an up edge), trees concatenated in
+// root-id order. Exactly the sequence a serial DFS emits, so TreeIndex can
+// feed it to the Fischer–Heun LCA table and stay byte-identical to its
+// serial build. root_of is kNullVertex outside the forest.
+struct EulerTourTables {
+  EulerTourResult result;
+  std::vector<Vertex> euler;             // length sum over trees of 2*size-1
+  std::vector<std::int32_t> euler_depth; // depth of euler[i]
+  std::vector<std::int32_t> first_pos;   // first tour occurrence; -1 outside
+  std::vector<Vertex> root_of;
+};
+
 // parent[v] == kNullVertex: v is a root if alive (empty alive = all alive),
 // otherwise v is skipped entirely.
 EulerTourResult euler_tour(std::span<const Vertex> parent,
                            std::span<const std::uint8_t> alive = {});
+
+// Same construction, additionally materializing the vertex tour (Theorem 4's
+// full output, consumed by TreeIndex::build's parallel path).
+EulerTourTables euler_tour_tables(std::span<const Vertex> parent,
+                                  std::span<const std::uint8_t> alive = {});
+
+// In-place variant: fills `out` via assign(), so a caller that passes the
+// same tables object across builds reuses their capacity (the construction
+// still allocates its internal temporaries per call).
+void euler_tour_tables_into(std::span<const Vertex> parent,
+                            std::span<const std::uint8_t> alive,
+                            EulerTourTables& out);
 
 }  // namespace pardfs

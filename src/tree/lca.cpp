@@ -36,11 +36,11 @@ const PatternTable g_patterns;
 
 }  // namespace
 
-void LcaTable::build(std::vector<Vertex> euler, std::vector<std::int32_t> depth_at,
-                     std::vector<std::int32_t> first_pos) {
-  euler_ = std::move(euler);
-  depth_at_ = std::move(depth_at);
-  first_pos_ = std::move(first_pos);
+void LcaTable::build(std::vector<Vertex>& euler, std::vector<std::int32_t>& depth_at,
+                     std::vector<std::int32_t>& first_pos) {
+  euler_.swap(euler);
+  depth_at_.swap(depth_at);
+  first_pos_.swap(first_pos);
   const std::size_t n = euler_.size();
   if (n == 0) {
     pattern_.clear();
@@ -88,6 +88,14 @@ void LcaTable::build(std::vector<Vertex> euler, std::vector<std::int32_t> depth_
                    : b;
     });
   }
+}
+
+std::size_t LcaTable::heap_capacity_bytes() const {
+  return euler_.capacity() * sizeof(Vertex) +
+         depth_at_.capacity() * sizeof(std::int32_t) +
+         first_pos_.capacity() * sizeof(std::int32_t) + pattern_.capacity() +
+         block_table_.capacity() * sizeof(std::int32_t) +
+         log2_.capacity() * sizeof(std::int32_t);
 }
 
 std::int32_t LcaTable::in_block(std::int32_t lo, std::int32_t hi) const {

@@ -26,8 +26,16 @@ class LcaTable {
   // euler: vertex sequence of the tour (forests: tours concatenated),
   // depth_at: depth of euler[i], first_pos: first occurrence of each vertex
   // in the tour (-1 for vertices outside the forest).
-  void build(std::vector<Vertex> euler, std::vector<std::int32_t> depth_at,
-             std::vector<std::int32_t> first_pos);
+  //
+  // The arguments are SWAPPED into the table (not copied): after the call
+  // they hold the table's previous buffers, so a caller that rebuilds
+  // repeatedly recycles capacity in both directions and the steady-state
+  // rebuild allocates nothing.
+  void build(std::vector<Vertex>& euler, std::vector<std::int32_t>& depth_at,
+             std::vector<std::int32_t>& first_pos);
+
+  // Sum of owned heap capacities in bytes (buffer-reuse accounting).
+  std::size_t heap_capacity_bytes() const;
 
   // LCA of u and v assuming they are in the same tree; the TreeIndex wrapper
   // checks tree identity first.

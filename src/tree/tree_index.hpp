@@ -20,9 +20,19 @@
 #include <vector>
 
 #include "graph/edge.hpp"
+#include "tree/euler_tour.hpp"
 #include "tree/lca.hpp"
 
 namespace pardfs {
+
+// How build() computes the tables. kSerial is the one-socket stack DFS;
+// kParallel is the paper-faithful Theorem 4 construction (children CSR via
+// counting + exclusive scan, Euler tour + list ranking for pre/post/depth/
+// size and the orderings, parallel Fischer–Heun block fill). Both produce
+// byte-identical tables (pinned by tests/test_rebuild.cpp at 1/2/4/8
+// workers); kAuto picks the parallel path when a worker team is available
+// and the forest is large enough to amortize the tour's O(n log n) work.
+enum class TreeBuildMode : std::uint8_t { kAuto, kSerial, kParallel };
 
 class TreeIndex {
  public:
@@ -30,7 +40,11 @@ class TreeIndex {
 
   // parent[v] == kNullVertex marks v as a root (if alive[v]) or dead (if not).
   // If `alive` is empty every vertex is considered alive.
-  void build(std::span<const Vertex> parent, std::span<const std::uint8_t> alive = {});
+  // Rebuilding into the same object reuses every buffer (including the LCA
+  // table's and the tour scratch): the steady-state epoch rebuild allocates
+  // nothing once capacities have stabilized — see heap_capacity_bytes().
+  void build(std::span<const Vertex> parent, std::span<const std::uint8_t> alive = {},
+             TreeBuildMode mode = TreeBuildMode::kAuto);
 
   Vertex capacity() const { return static_cast<Vertex>(parent_.size()); }
   bool in_forest(Vertex v) const {
@@ -102,7 +116,18 @@ class TreeIndex {
   // a and b must be in the same tree. O(output).
   std::vector<Vertex> tree_path(Vertex a, Vertex b) const;
 
+  // Sum of owned heap capacities in bytes, tour scratch and LCA table
+  // included. A second build() of the same forest shape must leave this
+  // unchanged (zero new heap growth) — pinned by tests/test_rebuild.cpp.
+  std::size_t heap_capacity_bytes() const;
+
  private:
+  void build_children_csr(std::span<const Vertex> parent,
+                          std::span<const std::uint8_t> alive, bool parallel);
+  void build_serial(std::span<const std::uint8_t> alive);
+  void build_parallel(std::span<const Vertex> parent,
+                      std::span<const std::uint8_t> alive);
+
   std::vector<Vertex> parent_;
   std::vector<Vertex> tree_root_;
   std::vector<std::int32_t> depth_, size_, pre_, post_;
@@ -112,6 +137,14 @@ class TreeIndex {
   std::vector<Vertex> roots_;
   std::int32_t num_indexed_ = 0;
   LcaTable lca_;
+  // Rebuild scratch, recycled across builds (the LCA table swaps its
+  // previous buffers back into the first three on every build; the parallel
+  // path swaps the member tables through tour_scratch_ the same way).
+  std::vector<Vertex> euler_scratch_;
+  std::vector<std::int32_t> euler_depth_scratch_, first_pos_scratch_;
+  std::vector<std::int32_t> cursor_scratch_;
+  std::vector<std::pair<Vertex, std::int32_t>> stack_scratch_;
+  EulerTourTables tour_scratch_;
 };
 
 }  // namespace pardfs

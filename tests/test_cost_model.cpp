@@ -53,7 +53,10 @@ TEST(CostModel, DynamicDfsReportsPramQuantities) {
   CostModel cm;
   Rng rng(1);
   Graph g = gen::random_connected(200, 400, rng);
-  DynamicDfs dfs(g, RerootStrategy::kPaper, &cm);
+  // serial_cutoff = 0: this test checks the query-round accounting of the
+  // paper machinery; the Brent serial completion (default at this small n)
+  // legitimately issues no query sets.
+  DynamicDfs dfs(g, RerootStrategy::kPaper, &cm, 0, 0);
   const CostSnapshot pre = cm.snapshot();
   EXPECT_GT(pre.rounds, 0u);
   EXPECT_GT(pre.work, 0u) << "preprocessing builds D";
