@@ -10,18 +10,41 @@
 #                            at 1/2/4/8 workers on adversarial_star and
 #                            social_mix (bench_parallel)
 #
-# Usage: bench/run_bench.sh [build-dir] [min-time-seconds]
+# Usage: bench/run_bench.sh [--smoke] [build-dir] [min-time-seconds]
 #   build-dir defaults to <repo>/build-bench; min-time to 0.1 (raise for
 #   stable numbers, lower for a CI smoke run).
+#   --smoke additionally runs a quick pardfs_fuzz soak against the Release
+#   build (and proves the corruption hook still fails loudly), so the bench
+#   toolchain and the fuzz gauntlet are exercised by one CI invocation.
 set -euo pipefail
 
+SMOKE=0
+ARGS=()
+for arg in "$@"; do
+  if [[ "$arg" == "--smoke" ]]; then SMOKE=1; else ARGS+=("$arg"); fi
+done
+
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD="${1:-$ROOT/build-bench}"
-MIN_TIME="${2:-0.1}"
+BUILD="${ARGS[0]:-$ROOT/build-bench}"
+MIN_TIME="${ARGS[1]:-0.1}"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
   -DPARDFS_BUILD_BENCH=ON -DPARDFS_BUILD_TESTS=OFF -DPARDFS_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD" -j "$(nproc)"
+
+if [[ "$SMOKE" == 1 ]]; then
+  # Quick fuzz soak: 4 seeds x {random, power_law, grid, dynamic_map} x
+  # {core, service}, differential-checked per batch. Then the self-test: an
+  # injected corruption must make the harness fail (exit 1), or the oracle
+  # has gone blind.
+  "$BUILD/tools/pardfs_fuzz" --soak=4 --batches=8
+  if "$BUILD/tools/pardfs_fuzz" --seed=1 --scenario=grid --entry=service \
+      --batches=4 --corrupt-at=2 > /dev/null 2>&1; then
+    echo "fuzz corruption self-test FAILED: injected corruption not caught" >&2
+    exit 1
+  fi
+  echo "fuzz smoke soak passed"
+fi
 
 "$BUILD/bench/bench_update" \
   --benchmark_min_time="$MIN_TIME" \

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/articulation.hpp"
 #include "util/check.hpp"
 
 namespace pardfs::service {
@@ -71,6 +72,12 @@ ServiceStats DfsService::stats() const {
 
 void DfsService::publish(bool forest_unchanged) {
   const Graph& g = dfs_.graph();
+  // Cut structure depends on the back edges too, so a patch-only batch that
+  // shares its forest still recomputes it.
+  std::shared_ptr<const CutStructure> cuts;
+  if (config_.serve_cuts) {
+    cuts = std::make_shared<const CutStructure>(find_cuts(g, dfs_.parent()));
+  }
   std::shared_ptr<const DfsSnapshot::Forest> forest;
   if (forest_unchanged) {
     // Patch-only batch: only num_edges and the version moved. Share the
@@ -89,7 +96,8 @@ void DfsService::publish(bool forest_unchanged) {
   }
   snapshot_.store(
       std::make_shared<const DfsSnapshot>(version_, updates_applied_,
-                                          std::move(forest), g.num_edges()),
+                                          std::move(forest), g.num_edges(),
+                                          std::move(cuts)),
       std::memory_order_release);
 }
 

@@ -45,6 +45,11 @@ struct ServiceConfig {
   // Start with the writer paused (updates queue up; nothing applies until
   // resume()). Lets tests and benchmarks pin coalescing deterministically.
   bool start_paused = false;
+  // Compute core/articulation's CutStructure at every publish so snapshots
+  // answer articulation / bridge queries (the dynamic_map workload's client
+  // vocabulary). Costs one O(m + n) low-link pass per published batch —
+  // off by default so update-heavy deployments don't pay it.
+  bool serve_cuts = false;
 };
 
 struct ServiceStats {

@@ -8,12 +8,22 @@ namespace pardfs::service {
 
 DfsSnapshot::DfsSnapshot(std::uint64_t version, std::uint64_t updates_applied,
                          std::shared_ptr<const Forest> forest,
-                         std::int64_t num_edges)
+                         std::int64_t num_edges,
+                         std::shared_ptr<const CutStructure> cuts)
     : version_(version),
       updates_applied_(updates_applied),
       forest_(std::move(forest)),
-      num_edges_(num_edges) {
+      num_edges_(num_edges),
+      cuts_(std::move(cuts)) {
   PARDFS_CHECK(forest_ != nullptr && forest_->index != nullptr);
+}
+
+bool DfsSnapshot::is_bridge(Vertex u, Vertex v) const {
+  if (cuts_ == nullptr || !contains(u) || !contains(v)) return false;
+  for (const Edge& b : cuts_->bridges) {
+    if ((b.u == u && b.v == v) || (b.u == v && b.v == u)) return true;
+  }
+  return false;
 }
 
 std::vector<Vertex> DfsSnapshot::path_to_root(Vertex v) const {

@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "core/articulation.hpp"
 #include "graph/edge.hpp"
 #include "tree/tree_index.hpp"
 
@@ -42,8 +43,13 @@ class DfsSnapshot {
     Vertex num_vertices = 0;
   };
 
+  // `cuts` is optional (ServiceConfig::serve_cuts): unlike the forest it
+  // depends on the *non-tree* edges too — a back-edge insert can demote an
+  // articulation point — so it lives on the snapshot, not the shared Forest,
+  // and is recomputed even for patch-only publishes.
   DfsSnapshot(std::uint64_t version, std::uint64_t updates_applied,
-              std::shared_ptr<const Forest> forest, std::int64_t num_edges);
+              std::shared_ptr<const Forest> forest, std::int64_t num_edges,
+              std::shared_ptr<const CutStructure> cuts = nullptr);
 
   // ---- identity ------------------------------------------------------------
   std::uint64_t version() const { return version_; }
@@ -88,14 +94,37 @@ class DfsSnapshot {
     return contains(u) && contains(v) &&
            forest_->index->root_of(u) == forest_->index->root_of(v);
   }
+  // The dynamic-map client vocabulary: u can reach v iff they sit in the
+  // same tree of the spanning forest.
+  bool reachable(Vertex u, Vertex v) const { return same_component(u, v); }
   // Vertices from v up to its tree root, inclusive; empty if v is unknown.
   std::vector<Vertex> path_to_root(Vertex v) const;
+
+  // ---- cut queries (core/articulation served per snapshot) -----------------
+  // Present only when the service was configured with serve_cuts; without it
+  // every cut query answers the benign default (false / empty), mirroring
+  // the totality contract above.
+  bool serves_cuts() const { return cuts_ != nullptr; }
+  // True iff deleting v would split its component (v must be alive).
+  bool is_articulation(Vertex v) const {
+    return cuts_ != nullptr && contains(v) &&
+           cuts_->is_articulation[static_cast<std::size_t>(v)] != 0;
+  }
+  // All bridge edges of the snapshot, as (parent, child) tree edges.
+  std::span<const Edge> bridges() const {
+    return cuts_ != nullptr ? std::span<const Edge>(cuts_->bridges)
+                            : std::span<const Edge>();
+  }
+  // True iff (u, v) is a bridge: a graph edge whose deletion splits the
+  // component. O(#bridges) scan — bridge sets are tiny in served graphs.
+  bool is_bridge(Vertex u, Vertex v) const;
 
  private:
   std::uint64_t version_;
   std::uint64_t updates_applied_;
   std::shared_ptr<const Forest> forest_;
   std::int64_t num_edges_;
+  std::shared_ptr<const CutStructure> cuts_;
 };
 
 using SnapshotPtr = std::shared_ptr<const DfsSnapshot>;

@@ -6,12 +6,25 @@
 
 namespace pardfs::service {
 
+namespace {
+
+// dynamic_map grid shape for a requested scale: the squarest rows × cols
+// with rows * cols >= n.
+void map_dims(Vertex n, Vertex& rows, Vertex& cols) {
+  rows = 1;
+  while ((rows + 1) * (rows + 1) <= n) ++rows;
+  cols = (n + rows - 1) / rows;
+}
+
+}  // namespace
+
 const char* scenario_name(Scenario s) {
   switch (s) {
     case Scenario::kReadHeavy: return "read_heavy";
     case Scenario::kInsertChurn: return "insert_churn";
     case Scenario::kAdversarialStar: return "adversarial_star";
     case Scenario::kSocialMix: return "social_mix";
+    case Scenario::kDynamicMap: return "dynamic_map";
   }
   return "unknown";
 }
@@ -22,6 +35,7 @@ double read_fraction(Scenario s) {
     case Scenario::kInsertChurn: return 0.50;
     case Scenario::kAdversarialStar: return 0.50;
     case Scenario::kSocialMix: return 0.90;
+    case Scenario::kDynamicMap: return 0.90;  // replanning queries dominate
   }
   return 0.5;
 }
@@ -46,6 +60,11 @@ Graph make_initial_graph(const WorkloadSpec& spec) {
     }
     case Scenario::kSocialMix:
       return gen::barabasi_albert(n, 4, rng);
+    case Scenario::kDynamicMap: {
+      Vertex rows, cols;
+      map_dims(n, rows, cols);
+      return gen::grid(rows, cols);
+    }
   }
   return gen::path(n);
 }
@@ -58,6 +77,11 @@ WorkloadDriver::WorkloadDriver(WorkloadSpec spec)
   // the mirror so scenario arithmetic (spoke rotation) never divides by the
   // unclamped value.
   spec_.n = std::max<Vertex>(spec_.n, 8);
+  if (spec_.scenario == Scenario::kDynamicMap) {
+    map_dims(spec_.n, rows_, cols_);
+    cells_.resize(static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cols_));
+    for (Vertex i = 0; i < rows_ * cols_; ++i) cells_[static_cast<std::size_t>(i)] = i;
+  }
 }
 
 GraphUpdate WorkloadDriver::next_mixed(double w_insert_edge,
@@ -109,8 +133,47 @@ GraphUpdate WorkloadDriver::next() {
     }
     case Scenario::kSocialMix:
       return next_mixed(1.5, 1.0, 0.5, 0.3);
+    case Scenario::kDynamicMap:
+      return next_dynamic_map();
   }
   return next_mixed(1.0, 1.0, 0.0, 0.0);
+}
+
+GraphUpdate WorkloadDriver::next_dynamic_map() {
+  // Obstacle churn over the cell grid. Every emitted update is applied to
+  // the mirror first, so the stream honors the driver's feasibility contract
+  // (a DfsService fed by it must never ack kRejected; pinned by
+  // tests/test_workload.cpp). Occasionally a random edge op ("shortcut"
+  // churn) keeps the non-tree structure moving too.
+  if (step_ % 7 == 0) return next_mixed(1.0, 1.0, 0.0, 0.0);
+  const Vertex num_cells = rows_ * cols_;
+  const Vertex max_blocked = num_cells / 4;  // keep the map mostly navigable
+  for (;;) {
+    const auto idx =
+        static_cast<std::size_t>(rng_.below(static_cast<std::uint64_t>(num_cells)));
+    const Vertex id = cells_[idx];
+    if (id != kNullVertex) {
+      // Obstacle appears: the cell's vertex (and all incident road segments)
+      // goes away. Skip if the map is already at its obstacle budget.
+      if (blocked_ >= max_blocked) continue;
+      cells_[idx] = kNullVertex;
+      ++blocked_;
+      mirror_.remove_vertex(id);
+      return GraphUpdate::delete_vertex(id);
+    }
+    // Obstacle clears: re-open the cell under a fresh vertex id, wired to
+    // whichever 4-neighbors are currently open.
+    const Vertex r = static_cast<Vertex>(idx) / cols_;
+    const Vertex c = static_cast<Vertex>(idx) % cols_;
+    std::vector<Vertex> nbrs;
+    if (r > 0 && cell_vertex(r - 1, c) != kNullVertex) nbrs.push_back(cell_vertex(r - 1, c));
+    if (r + 1 < rows_ && cell_vertex(r + 1, c) != kNullVertex) nbrs.push_back(cell_vertex(r + 1, c));
+    if (c > 0 && cell_vertex(r, c - 1) != kNullVertex) nbrs.push_back(cell_vertex(r, c - 1));
+    if (c + 1 < cols_ && cell_vertex(r, c + 1) != kNullVertex) nbrs.push_back(cell_vertex(r, c + 1));
+    cells_[idx] = mirror_.add_vertex(nbrs);
+    --blocked_;
+    return GraphUpdate::insert_vertex(std::move(nbrs));
+  }
 }
 
 }  // namespace pardfs::service

@@ -12,14 +12,22 @@
 //   * social-mix        — Barabási–Albert power-law graph under a mixed
 //                         update stream; hub churn plus vertex arrivals and
 //                         departures, the "millions of users" shape.
+//   * dynamic-map       — roadmap grid where obstacle appearance deletes a
+//                         cell's vertex and clearance restores it (a fresh
+//                         id wired to the open 4-neighbors); clients ask
+//                         reachability / articulation questions against
+//                         snapshots (serve_cuts). The marine path-planner
+//                         shape from the ROADMAP.
 //
 // The driver owns a mirror graph and only emits updates feasible against it,
 // so a single producer can feed a DfsService (or DynamicDfs::apply_batch
-// directly) without ever tripping a rejection. Fully deterministic per seed.
+// directly) without ever tripping a rejection. Fully deterministic per seed
+// (pinned by tests/test_workload.cpp).
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/reduction.hpp"
 #include "graph/generators.hpp"
@@ -33,6 +41,7 @@ enum class Scenario : std::uint8_t {
   kInsertChurn,
   kAdversarialStar,
   kSocialMix,
+  kDynamicMap,
 };
 
 const char* scenario_name(Scenario s);
@@ -62,14 +71,29 @@ class WorkloadDriver {
   // it is immediately applied to.
   GraphUpdate next();
 
+  // dynamic_map: the cell grid the mirror graph discretizes. Row-major;
+  // kNullVertex marks an obstacle. Restored cells get fresh vertex ids
+  // (graph ids are never recycled), so the map outlives any id.
+  Vertex map_rows() const { return rows_; }
+  Vertex map_cols() const { return cols_; }
+  // Current vertex id of cell (r, c); kNullVertex if blocked.
+  Vertex cell_vertex(Vertex r, Vertex c) const {
+    return cells_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
  private:
   GraphUpdate next_mixed(double w_insert_edge, double w_delete_edge,
                          double w_insert_vertex, double w_delete_vertex);
+  GraphUpdate next_dynamic_map();
 
   WorkloadSpec spec_;
   Graph mirror_;
   Rng rng_;
   std::uint64_t step_ = 0;
+  // dynamic_map state (empty for the other scenarios).
+  Vertex rows_ = 0, cols_ = 0;
+  std::vector<Vertex> cells_;
+  Vertex blocked_ = 0;
 };
 
 }  // namespace pardfs::service

@@ -46,12 +46,28 @@ void check_against_brute_force(const Graph& g) {
               brute)
         << "vertex " << v;
   }
-  // Bridges: removing one must split its component.
-  for (const Edge& b : cuts.bridges) {
+  // Bridges, both directions: every claimed bridge must split its component
+  // when removed (soundness), and every edge whose removal splits must be
+  // claimed (completeness) — checked over ALL edges via the remove-one
+  // oracle.
+  const auto claimed = [&](Vertex u, Vertex v) {
+    for (const Edge& b : cuts.bridges) {
+      if ((b.u == u && b.v == v) || (b.u == v && b.v == u)) return true;
+    }
+    return false;
+  };
+  for (const Edge& e : g.edges()) {
     Graph h = g;
-    h.remove_edge(b.u, b.v);
-    EXPECT_GT(count_components(h, kNullVertex), base)
-        << "claimed bridge (" << b.u << "," << b.v << ")";
+    h.remove_edge(e.u, e.v);
+    const bool splits = count_components(h, kNullVertex) > base;
+    EXPECT_EQ(claimed(e.u, e.v), splits)
+        << "edge (" << e.u << "," << e.v << "): bridge set "
+        << (splits ? "missed a real bridge" : "claimed a non-bridge");
+  }
+  // Claimed bridges are (parent, child) tree edges.
+  for (const Edge& b : cuts.bridges) {
+    EXPECT_EQ(parent[static_cast<std::size_t>(b.v)], b.u)
+        << "bridge (" << b.u << "," << b.v << ") is not a tree edge";
   }
 }
 
@@ -103,6 +119,26 @@ TEST(Articulation, HandlesDeadVertices) {
   Graph g = gen::path(5);
   g.remove_vertex(2);
   check_against_brute_force(g);
+}
+
+TEST(Articulation, EveryTreeEdgeIsABridge) {
+  // In a tree, all n-1 edges are bridges and every internal vertex is an
+  // articulation point — the completeness direction at its extreme.
+  Graph g = gen::binary_tree(31);
+  const auto parent = static_dfs(g);
+  const CutStructure cuts = find_cuts(g, parent);
+  EXPECT_EQ(cuts.bridges.size(), 30u);
+  check_against_brute_force(g);
+}
+
+TEST(Articulation, MatchesBruteForceOnDisconnectedGraphs) {
+  // Several components, one with a cut vertex, one 2-edge-connected, one a
+  // bare edge; the low-link pass must keep them independent.
+  Rng rng(406);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = gen::gnp(50, 1.2 / 50, rng);  // below the connectivity threshold
+    check_against_brute_force(g);
+  }
 }
 
 }  // namespace

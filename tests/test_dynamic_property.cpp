@@ -4,6 +4,7 @@
 // library's main correctness gauntlet.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <tuple>
 
@@ -76,6 +77,93 @@ INSTANTIATE_TEST_SUITE_P(
              std::get<2>(info.param).name +
              (std::get<3>(info.param) == RerootStrategy::kPaper ? "_paper"
                                                                 : "_seql");
+    });
+
+// Family sweep: the same per-update validity property at n=96 over the graph
+// families the fuzz soak exercises (random, grid, Barabási–Albert), with a
+// delete-heavy axis and a real worker team (num_threads=4) — the forest must
+// stay valid AND be identical to the single-thread run at every step.
+struct FamilyParam {
+  const char* name;
+  Graph (*make)(Vertex n, Rng& rng);
+};
+
+Graph make_random_family(Vertex n, Rng& rng) {
+  return gen::random_connected(n, 2 * static_cast<std::int64_t>(n), rng);
+}
+Graph make_grid_family(Vertex n, Rng&) {
+  Vertex rows = 2;
+  while ((rows + 1) * (rows + 1) <= n) ++rows;
+  return gen::grid(rows, n / rows);
+}
+Graph make_ba_family(Vertex n, Rng& rng) {
+  return gen::barabasi_albert(n, 3, rng);
+}
+
+constexpr FamilyParam kFamilies[] = {
+    {"random", make_random_family},
+    {"grid", make_grid_family},
+    {"barabasi_albert", make_ba_family},
+};
+
+class FamilySweep
+    : public ::testing::TestWithParam<std::tuple<int, FamilyParam, MixParam>> {};
+
+TEST_P(FamilySweep, ForestValidAndThreadCountInvariant) {
+  const auto [seed, family, mix] = GetParam();
+  const Vertex n = 96;
+  Rng graph_rng(static_cast<std::uint64_t>(seed) * 6151 + 3);
+  const Graph initial = family.make(n, graph_rng);
+  DynamicDfs serial(initial, RerootStrategy::kPaper, nullptr, /*num_threads=*/1);
+  DynamicDfs parallel(initial, RerootStrategy::kPaper, nullptr, /*num_threads=*/4);
+  Graph mirror = initial;
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 17);
+  for (int step = 0; step < 100; ++step) {
+    gen::Update u;
+    if (!gen::random_update(mirror, rng, mix.ins_e, mix.del_e, mix.ins_v,
+                            mix.del_v, u)) {
+      break;
+    }
+    gen::apply_update(mirror, u);
+    for (DynamicDfs* dfs : {&serial, &parallel}) {
+      switch (u.kind) {
+        case gen::UpdateKind::kInsertEdge:
+          dfs->insert_edge(u.u, u.v);
+          break;
+        case gen::UpdateKind::kDeleteEdge:
+          dfs->delete_edge(u.u, u.v);
+          break;
+        case gen::UpdateKind::kInsertVertex:
+          dfs->insert_vertex(u.neighbors);
+          break;
+        case gen::UpdateKind::kDeleteVertex:
+          dfs->delete_vertex(u.u);
+          break;
+      }
+    }
+    const auto validation = validate_dfs_forest(mirror, serial.parent());
+    ASSERT_TRUE(validation.ok) << "seed=" << seed << " family=" << family.name
+                               << " mix=" << mix.name << " step=" << step
+                               << ": " << validation.reason;
+    ASSERT_TRUE(std::ranges::equal(serial.parent(), parallel.parent()))
+        << "seed=" << seed << " family=" << family.name << " step=" << step
+        << ": forest differs between num_threads=1 and num_threads=4";
+  }
+}
+
+constexpr MixParam kFamilyMixes[] = {
+    {"delete_heavy", 0.15, 1.0, 0.05, 0.8},
+    {"full_mix", 1.0, 1.0, 0.5, 0.5},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, FamilySweep,
+    ::testing::Combine(::testing::Range(0, 4), ::testing::ValuesIn(kFamilies),
+                       ::testing::ValuesIn(kFamilyMixes)),
+    [](const ::testing::TestParamInfo<std::tuple<int, FamilyParam, MixParam>>&
+           info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_" +
+             std::get<1>(info.param).name + "_" + std::get<2>(info.param).name;
     });
 
 // Exhaustive micro sweep: every single-edge update on every connected graph

@@ -418,6 +418,116 @@ TEST(Service, ConcurrentConsistencyUnderChurn) {
       << "batching must never cost more rebuilds than updates";
 }
 
+TEST(Service, CutQueriesOffByDefault) {
+  DfsService svc(gen::path(6));
+  const SnapshotPtr snap = svc.snapshot();
+  EXPECT_FALSE(snap->serves_cuts());
+  // Without serve_cuts every cut query answers the benign default, even for
+  // vertices that really are articulation points.
+  EXPECT_FALSE(snap->is_articulation(2));
+  EXPECT_FALSE(snap->is_bridge(2, 3));
+  EXPECT_TRUE(snap->bridges().empty());
+}
+
+TEST(Service, SnapshotServesArticulationAndBridges) {
+  ServiceConfig config;
+  config.serve_cuts = true;
+  DfsService svc(gen::path(6), config);
+  const SnapshotPtr snap = svc.snapshot();
+  ASSERT_TRUE(snap->serves_cuts());
+  EXPECT_FALSE(snap->is_articulation(0));
+  EXPECT_FALSE(snap->is_articulation(5));
+  for (Vertex v = 1; v < 5; ++v) EXPECT_TRUE(snap->is_articulation(v));
+  EXPECT_EQ(snap->bridges().size(), 5u);
+  EXPECT_TRUE(snap->is_bridge(2, 3));
+  EXPECT_TRUE(snap->is_bridge(3, 2)) << "orientation must not matter";
+  EXPECT_FALSE(snap->is_bridge(0, 5)) << "not even an edge";
+  // Totality at the service boundary.
+  EXPECT_FALSE(snap->is_articulation(-1));
+  EXPECT_FALSE(snap->is_articulation(99));
+  EXPECT_FALSE(snap->is_bridge(-1, 2));
+  EXPECT_FALSE(snap->is_bridge(2, 99));
+}
+
+TEST(Service, PatchOnlyBatchesStillRefreshCuts) {
+  // A back-edge insert shares the previous snapshot's Forest (see
+  // PatchOnlyBatchesShareTheForest) but it changes the cut structure — the
+  // cycle it closes demotes articulation points and un-bridges tree edges.
+  // Cuts live per-snapshot, so the patched snapshot must answer afresh.
+  ServiceConfig config;
+  config.serve_cuts = true;
+  DfsService svc(gen::path(8), config);
+  const SnapshotPtr before = svc.snapshot();
+  EXPECT_TRUE(before->is_articulation(2));
+  EXPECT_TRUE(before->is_bridge(1, 2));
+  ASSERT_NE(svc.apply_sync(GraphUpdate::insert_edge(0, 4)),
+            UpdateTicket::kRejected);  // ancestor pair on a path: patch-only
+  const SnapshotPtr after = svc.snapshot();
+  ASSERT_EQ(after->forest(), before->forest()) << "patch-only must share";
+  EXPECT_FALSE(after->is_articulation(2)) << "now on a cycle";
+  EXPECT_FALSE(after->is_bridge(1, 2)) << "now on a cycle";
+  EXPECT_TRUE(after->is_articulation(4)) << "cycle exit towards the tail";
+  EXPECT_TRUE(after->is_bridge(4, 5));
+  // The old snapshot still answers with its own epoch's cuts (immutability).
+  EXPECT_TRUE(before->is_articulation(2));
+}
+
+TEST(Service, ServedCutsMatchBruteForceUnderChurn) {
+  const WorkloadSpec spec{Scenario::kDynamicMap, 64, 99};
+  WorkloadDriver driver(spec);
+  ServiceConfig config;
+  config.serve_cuts = true;
+  DfsService svc(make_initial_graph(spec), config);
+  const auto count_components = [](const Graph& g, Vertex skip) {
+    std::vector<std::int8_t> seen(static_cast<std::size_t>(g.capacity()), 0);
+    std::vector<Vertex> stack;
+    int comps = 0;
+    for (Vertex s = 0; s < g.capacity(); ++s) {
+      if (!g.is_alive(s) || s == skip || seen[static_cast<std::size_t>(s)]) continue;
+      ++comps;
+      seen[static_cast<std::size_t>(s)] = 1;
+      stack.push_back(s);
+      while (!stack.empty()) {
+        const Vertex v = stack.back();
+        stack.pop_back();
+        for (const Vertex w : g.neighbors(v)) {
+          if (w == skip || seen[static_cast<std::size_t>(w)]) continue;
+          seen[static_cast<std::size_t>(w)] = 1;
+          stack.push_back(w);
+        }
+      }
+    }
+    return comps;
+  };
+  for (int i = 0; i < 160; ++i) {
+    ASSERT_NE(svc.apply_sync(driver.next()), UpdateTicket::kRejected);
+    if (i % 20 != 19) continue;
+    // apply_sync acked => the snapshot reflects the update; the driver's
+    // mirror is the ground truth to brute-force against.
+    const SnapshotPtr snap = svc.snapshot();
+    ASSERT_TRUE(snap->serves_cuts());
+    const Graph& mirror = driver.graph();
+    const int base = count_components(mirror, kNullVertex);
+    for (Vertex v = 0; v < mirror.capacity(); ++v) {
+      if (!mirror.is_alive(v)) {
+        EXPECT_FALSE(snap->is_articulation(v));
+        continue;
+      }
+      const bool brute =
+          mirror.degree(v) > 0 && count_components(mirror, v) > base;
+      ASSERT_EQ(snap->is_articulation(v), brute)
+          << "update " << i << " vertex " << v;
+    }
+    for (const Edge& b : snap->bridges()) {
+      Graph h = mirror;
+      h.remove_edge(b.u, b.v);
+      ASSERT_GT(count_components(h, kNullVertex), base)
+          << "update " << i << " claimed bridge (" << b.u << "," << b.v << ")";
+    }
+  }
+  svc.stop();
+}
+
 TEST(Service, WorkloadScenariosServeValidSnapshots) {
   for (const Scenario scenario :
        {Scenario::kReadHeavy, Scenario::kInsertChurn,

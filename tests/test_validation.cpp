@@ -41,13 +41,16 @@ TEST(Validation, RejectsCrossEdge) {
 }
 
 TEST(Validation, RejectsNonSpanningForest) {
-  // Connected graph split into two trees.
+  // Connected graph split into two trees: the edge between them betrays it.
   Graph g(3);
   g.add_edge(0, 1);
   g.add_edge(1, 2);
   std::vector<Vertex> parent = {kNullVertex, 0, kNullVertex};
   const auto result = validate_dfs_forest(g, parent);
   EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.reason.find("connects two different trees"),
+            std::string::npos)
+      << result.reason;
 }
 
 TEST(Validation, RejectsTreeEdgeNotInGraph) {
@@ -57,6 +60,8 @@ TEST(Validation, RejectsTreeEdgeNotInGraph) {
   std::vector<Vertex> parent = {kNullVertex, 0, 1};  // (1,2) is not an edge
   const auto result = validate_dfs_forest(g, parent);
   EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.reason.find("is not a graph edge"), std::string::npos)
+      << result.reason;
 }
 
 TEST(Validation, RejectsCycle) {
@@ -67,6 +72,30 @@ TEST(Validation, RejectsCycle) {
   std::vector<Vertex> parent = {2, 0, 1};
   const auto result = validate_dfs_forest(g, parent);
   EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.reason.find("cycle through vertex"), std::string::npos)
+      << result.reason;
+}
+
+TEST(Validation, RejectsParentArraySizeMismatch) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  std::vector<Vertex> parent = {kNullVertex, 0, kNullVertex};  // one short
+  const auto result = validate_dfs_forest(g, parent);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.reason.find("parent array size != graph capacity"),
+            std::string::npos)
+      << result.reason;
+}
+
+TEST(Validation, RejectsAliveVertexWithDeadParent) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.remove_vertex(2);
+  std::vector<Vertex> parent = {kNullVertex, 2, kNullVertex};  // 1's parent died
+  const auto result = validate_dfs_forest(g, parent);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.reason.find("parent of 1 is dead"), std::string::npos)
+      << result.reason;
 }
 
 TEST(Validation, AcceptsForestsWithDeadVertices) {
@@ -85,6 +114,24 @@ TEST(Validation, RejectsDeadParent) {
   std::vector<Vertex> parent = {kNullVertex, 0, 0};  // dead vertex has a parent
   const auto result = validate_dfs_forest(g, parent);
   EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.reason.find("dead vertex 2 has a parent"), std::string::npos)
+      << result.reason;
+}
+
+TEST(Validation, RejectsCrossEdgeInDeepForest) {
+  // Two sibling subtrees of a common root joined by a non-tree edge between
+  // non-ancestor vertices — the classic cross edge the DFS property forbids.
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 3);
+  g.add_edge(3, 4);
+  g.add_edge(2, 4);
+  std::vector<Vertex> parent = {kNullVertex, 0, 1, 0, 3};
+  const auto result = validate_dfs_forest(g, parent);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.reason.find("cross edge"), std::string::npos)
+      << result.reason;
 }
 
 }  // namespace
