@@ -23,12 +23,15 @@ void BM_BuildOracle(benchmark::State& state) {
   TreeIndex index;
   index.build(parent);
   pram::CostModel cost;
+  bool aligned = true;
   for (auto _ : state) {
     AdjacencyOracle oracle;
     oracle.build(g, index, &cost);
     benchmark::DoNotOptimize(oracle);
+    aligned &= oracle.csr_aligned();
   }
   state.counters["n"] = benchmark::Counter(n);
+  state.counters["aligned"] = benchmark::Counter(aligned ? 1 : 0);
   state.counters["m"] = benchmark::Counter(static_cast<double>(g.num_edges()));
   state.counters["pram_depth/build"] = benchmark::Counter(
       static_cast<double>(cost.snapshot().pram_time) /

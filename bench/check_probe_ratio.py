@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Bench-smoke ratio guard for the SIMD probe path (DESIGN.md §10, E15).
+
+Reads a google-benchmark JSON file (BENCH_oracle.json) and asserts that
+BM_OracleProbe/batch_simd/<n> is at least --min-ratio times faster
+(per-probe wall time) than BM_OracleProbe/single_scalar/<n>. If the
+batch_simd entry reports avx2 == 0 (no AVX2 on this machine, or scalar was
+pinned via PARDFS_FORCE_SCALAR), the assertion is skipped with a warning —
+there is no vector win to guard there.
+
+Usage: check_probe_ratio.py BENCH_oracle.json [--n 32768] [--min-ratio 1.3]
+"""
+import argparse
+import json
+import sys
+
+
+def real_time_us(bench):
+    t = bench["real_time"]
+    unit = bench.get("time_unit", "ns")
+    scale = {"ns": 1e-3, "us": 1.0, "ms": 1e3, "s": 1e6}[unit]
+    return t * scale
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("json_path")
+    ap.add_argument("--n", type=int, default=32768)
+    ap.add_argument("--min-ratio", type=float, default=1.3)
+    args = ap.parse_args()
+
+    with open(args.json_path) as f:
+        data = json.load(f)
+
+    scalar = simd = avx2 = None
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        if b["name"] == f"BM_OracleProbe/single_scalar/{args.n}":
+            scalar = real_time_us(b)
+        elif b["name"] == f"BM_OracleProbe/batch_simd/{args.n}":
+            simd = real_time_us(b)
+            avx2 = b.get("avx2")
+    if scalar is None or simd is None:
+        print(
+            f"check_probe_ratio: missing BM_OracleProbe/single_scalar/{args.n} "
+            f"or BM_OracleProbe/batch_simd/{args.n} in {args.json_path}",
+            file=sys.stderr,
+        )
+        return 2
+
+    ratio = scalar / simd
+    print(
+        f"check_probe_ratio: single_scalar {scalar:.1f}us / batch_simd "
+        f"{simd:.1f}us = {ratio:.2f}x (required >= {args.min_ratio:.2f}x)"
+    )
+    if not avx2:
+        print(
+            "check_probe_ratio: WARNING — batch_simd ran scalar (no AVX2 or "
+            "PARDFS_FORCE_SCALAR set); skipping the ratio assertion"
+        )
+        return 0
+    if ratio < args.min_ratio:
+        print(
+            "check_probe_ratio: FAIL — the SIMD probe win regressed "
+            f"(ratio {ratio:.2f} < {args.min_ratio:.2f})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,9 @@
 #   BENCH_parallel.json    — E12, engine thread scaling: batch-update latency
 #                            at 1/2/4/8 workers on adversarial_star and
 #                            social_mix (bench_parallel)
+#   BENCH_oracle.json      — E15, SIMD probe hot path: batched dispatched
+#                            probes vs the scalar single-probe reference,
+#                            aligned-CSR rebuild reuse (bench_oracle)
 #
 # Usage: bench/run_bench.sh [--smoke] [build-dir] [min-time-seconds]
 #   build-dir defaults to <repo>/build-bench; min-time to 0.1 (raise for
@@ -38,6 +41,10 @@ if [[ "$SMOKE" == 1 ]]; then
   # injected corruption must make the harness fail (exit 1), or the oracle
   # has gone blind.
   "$BUILD/tools/pardfs_fuzz" --soak=4 --batches=8
+  # One leg with SIMD dispatch pinned to the scalar reference: the engine
+  # must be byte-identical either way, so this catches any divergence the
+  # unit differentials missed.
+  "$BUILD/tools/pardfs_fuzz" --soak=2 --batches=8 --force-scalar
   if "$BUILD/tools/pardfs_fuzz" --seed=1 --scenario=grid --entry=service \
       --batches=4 --corrupt-at=2 > /dev/null 2>&1; then
     echo "fuzz corruption self-test FAILED: injected corruption not caught" >&2
@@ -61,6 +68,13 @@ python3 "$ROOT/bench/check_update_ratio.py" "$ROOT/BENCH_update.json" --min-rati
 "$BUILD/bench/bench_parallel" \
   --benchmark_min_time="$MIN_TIME" \
   --benchmark_out_format=json --benchmark_out="$ROOT/BENCH_parallel.json"
+"$BUILD/bench/bench_oracle" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_out_format=json --benchmark_out="$ROOT/BENCH_oracle.json"
+# Ratio guard: batched dispatched probes must stay >= 1.3x faster than the
+# scalar single-probe reference at n = 2^15 (warns and skips on machines
+# without AVX2 — see check_probe_ratio.py).
+python3 "$ROOT/bench/check_probe_ratio.py" "$ROOT/BENCH_oracle.json" --min-ratio 1.3
 
 echo "wrote $ROOT/BENCH_update.json, $ROOT/BENCH_preprocess.json," \
-     "$ROOT/BENCH_service.json and $ROOT/BENCH_parallel.json"
+     "$ROOT/BENCH_service.json, $ROOT/BENCH_parallel.json and $ROOT/BENCH_oracle.json"

@@ -197,26 +197,27 @@ AdjacencyOracle::Candidate AdjacencyOracle::better(Candidate a, Candidate b,
   return a.source <= b.source ? a : b;
 }
 
-AdjacencyOracle::Candidate AdjacencyOracle::probe_up(Vertex u, PathSeg seg,
-                                                     PathEnd end) const {
-  Candidate result;
-  if (!is_base_vertex(u) || !is_base_vertex(seg.top)) return result;
-  if (!base_->is_ancestor(seg.top, u) || seg.top == u) return result;
+bool AdjacencyOracle::probe_up_window(Vertex u, PathSeg seg, std::int32_t& lo,
+                                      std::int32_t& hi) const {
+  if (!is_base_vertex(u) || !is_base_vertex(seg.top)) return false;
+  if (!base_->is_ancestor(seg.top, u) || seg.top == u) return false;
   // Ancestors of u on [top..bottom] form the chain [lca(u, bottom)..top];
   // their posts fill [post(l), post(top)] within N(u) exclusively. The
   // window is located by binary search over the contiguous post keys.
   const Vertex l = base_->lca(u, seg.bottom);
   PARDFS_DCHECK(l != kNullVertex);
-  const std::int32_t lo = base_->post(l);
-  const std::int32_t hi = base_->post(seg.top);
+  lo = base_->post(l);
+  hi = base_->post(seg.top);
+  return true;
+}
+
+AdjacencyOracle::Candidate AdjacencyOracle::probe_up_pick(Vertex u,
+                                                          std::size_t begin,
+                                                          std::size_t finish,
+                                                          PathEnd end) const {
+  Candidate result;
   const auto posts = base_posts(u);
   const auto list = base_neighbors(u);
-  const std::size_t begin =
-      static_cast<std::size_t>(std::lower_bound(posts.begin(), posts.end(), lo) -
-                               posts.begin());
-  const std::size_t finish =
-      static_cast<std::size_t>(std::lower_bound(posts.begin(), posts.end(), hi + 1) -
-                               posts.begin());
   std::uint64_t probes = 1;
   if (end == PathEnd::kTop) {
     for (std::size_t i = finish; i != begin;) {
@@ -236,6 +237,21 @@ AdjacencyOracle::Candidate AdjacencyOracle::probe_up(Vertex u, PathSeg seg,
   }
   if (cost_ != nullptr) cost_->add_query(probes);
   return result;
+}
+
+AdjacencyOracle::Candidate AdjacencyOracle::probe_up(Vertex u, PathSeg seg,
+                                                     PathEnd end) const {
+  std::int32_t lo = 0;
+  std::int32_t hi = 0;
+  if (!probe_up_window(u, seg, lo, hi)) return {};
+  const auto posts = base_posts(u);
+  const std::size_t begin =
+      static_cast<std::size_t>(std::lower_bound(posts.begin(), posts.end(), lo) -
+                               posts.begin());
+  const std::size_t finish =
+      static_cast<std::size_t>(std::lower_bound(posts.begin(), posts.end(), hi + 1) -
+                               posts.begin());
+  return probe_up_pick(u, begin, finish, end);
 }
 
 AdjacencyOracle::Candidate AdjacencyOracle::probe_down(Vertex u, PathSeg seg,
@@ -306,6 +322,84 @@ AdjacencyOracle::Candidate AdjacencyOracle::probe_all(Vertex u, PathSeg seg,
   return result;
 }
 
+void AdjacencyOracle::probe_batch(const Vertex* sources, std::size_t count,
+                                  PathSeg seg, PathEnd end,
+                                  Candidate* out) const {
+  PARDFS_DCHECK(count <= simd::kBatchLanes);
+  // Singleton segments holding an inserted vertex never reach the base
+  // binary search; take probe_all's dedicated branch per lane.
+  if (seg.top == seg.bottom && !is_base_vertex(seg.top)) {
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = probe_all(sources[i], seg, end);
+    }
+    return;
+  }
+  // Lane setup: each probe-up-eligible source contributes two search lanes
+  // (window begin at lo, window end at hi + 1) over its CSR row of the one
+  // shared sorted_posts_ array.
+  std::uint32_t starts[2 * simd::kBatchLanes];
+  std::uint32_t lens[2 * simd::kBatchLanes];
+  std::int32_t needles[2 * simd::kBatchLanes];
+  std::uint32_t found[2 * simd::kBatchLanes];
+  std::size_t lane_src[simd::kBatchLanes];
+  std::uint8_t dead[simd::kBatchLanes];
+  std::size_t lanes = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = Candidate{};
+    const Vertex u = sources[i];
+    dead[i] = vertex_dead(u) ? 1 : 0;
+    if (dead[i]) continue;  // probe_all returns {} without any probe
+    std::int32_t lo = 0;
+    std::int32_t hi = 0;
+    if (!probe_up_window(u, seg, lo, hi)) continue;
+    const std::size_t su = static_cast<std::size_t>(u);
+    const std::uint32_t start =
+        su < built_capacity_ ? sorted_offsets_[su] : 0;
+    const std::uint32_t len =
+        su < built_capacity_ ? sorted_offsets_[su + 1] - start : 0;
+    starts[2 * lanes] = start;
+    lens[2 * lanes] = len;
+    needles[2 * lanes] = lo;
+    starts[2 * lanes + 1] = start;
+    lens[2 * lanes + 1] = len;
+    needles[2 * lanes + 1] = hi + 1;
+    lane_src[lanes] = i;
+    ++lanes;
+    // Overlap the lanes' first binary-search touches: by the time the
+    // kernel (and the picks after it) run, every lane's row midpoints are
+    // in flight instead of serializing as dependent misses.
+    const std::int32_t* row = sorted_posts_.data() + start;
+    simd::prefetch(row + len / 2);
+    simd::prefetch(row + len / 4);
+    simd::prefetch(row + (3 * (std::size_t)len) / 4);
+  }
+  if (lanes > 0) {
+    simd::lower_bound_batch(sorted_posts_.data(), starts, lens, needles, found,
+                            2 * lanes);
+    // The picks read sorted_data_ (a different array from the one the
+    // searches walked) at the window edge; put every lane's first pick
+    // load in flight before the first pick runs.
+    for (std::size_t j = 0; j < lanes; ++j) {
+      const std::uint32_t edge =
+          end == PathEnd::kTop
+              ? found[2 * j + 1] - (found[2 * j + 1] > found[2 * j] ? 1 : 0)
+              : found[2 * j];
+      simd::prefetch(sorted_data_.data() + starts[2 * j] + edge);
+    }
+    for (std::size_t j = 0; j < lanes; ++j) {
+      const std::size_t i = lane_src[j];
+      out[i] = probe_up_pick(sources[i], found[2 * j], found[2 * j + 1], end);
+    }
+  }
+  // probe_down and probe_extras per lane, in probe_all's combine order.
+  for (std::size_t i = 0; i < count; ++i) {
+    if (dead[i]) continue;
+    const Vertex u = sources[i];
+    out[i] = better(out[i], probe_down(u, seg, end), end);
+    if (has_extras(u)) out[i] = better(out[i], probe_extras(u, seg, end), end);
+  }
+}
+
 std::optional<Edge> AdjacencyOracle::query_vertex(Vertex u, PathSeg seg,
                                                   PathEnd end) const {
   const Candidate c = probe_all(u, seg, end);
@@ -313,11 +407,43 @@ std::optional<Edge> AdjacencyOracle::query_vertex(Vertex u, PathSeg seg,
   return Edge{c.source, c.target};
 }
 
+void AdjacencyOracle::query_vertex_batch(const Vertex* sources,
+                                         std::size_t count, PathSeg seg,
+                                         PathEnd end,
+                                         std::optional<Edge>* out) const {
+  Candidate lane[simd::kBatchLanes];
+  for (std::size_t begin = 0; begin < count; begin += simd::kBatchLanes) {
+    const std::size_t chunk = std::min(simd::kBatchLanes, count - begin);
+    probe_batch(sources + begin, chunk, seg, end, lane);
+    for (std::size_t i = 0; i < chunk; ++i) {
+      out[begin + i] = lane[i].valid()
+                           ? std::optional<Edge>(Edge{lane[i].source, lane[i].target})
+                           : std::nullopt;
+    }
+  }
+}
+
 std::optional<Edge> AdjacencyOracle::query_sources(std::span<const Vertex> sources,
                                                    PathSeg seg, PathEnd end) const {
+  // One logical processor per source; physically the sources advance in
+  // kBatchLanes-wide blocks whose window searches share one dispatched
+  // lower_bound pass. `better` is a total order on (post, source id), so
+  // the block-at-a-time reduction returns the per-source reduction's winner
+  // bit for bit.
+  const std::size_t blocks =
+      (sources.size() + simd::kBatchLanes - 1) / simd::kBatchLanes;
   const Candidate best = pram::parallel_reduce(
-      std::size_t{0}, sources.size(), Candidate{},
-      [&](std::size_t i) { return probe_all(sources[i], seg, end); },
+      std::size_t{0}, blocks, Candidate{},
+      [&](std::size_t b) {
+        Candidate lane[simd::kBatchLanes];
+        const std::size_t begin = b * simd::kBatchLanes;
+        const std::size_t chunk =
+            std::min(simd::kBatchLanes, sources.size() - begin);
+        probe_batch(sources.data() + begin, chunk, seg, end, lane);
+        Candidate acc;
+        for (std::size_t i = 0; i < chunk; ++i) acc = better(acc, lane[i], end);
+        return acc;
+      },
       [end](Candidate a, Candidate b) { return better(a, b, end); });
   if (!best.valid()) return std::nullopt;
   return Edge{best.source, best.target};
@@ -381,6 +507,9 @@ std::optional<Edge> AdjacencyOracle::query_segments(PathSeg source, PathSeg targ
                 1);
   for (Vertex v = walked.bottom;; v = base_->parent(v)) {
     chain.push_back(v);
+    // Warm each chain vertex's CSR row while the walk is still chasing
+    // parent pointers: the probe pass below revisits them in this order.
+    prefetch_adjacency(v);
     if (v == walked.top) break;
   }
   if (!source_descends) {

@@ -43,6 +43,7 @@
 #include "graph/graph.hpp"
 #include "pram/cost_model.hpp"
 #include "tree/tree_index.hpp"
+#include "util/simd.hpp"
 
 namespace pardfs {
 
@@ -98,8 +99,20 @@ class AdjacencyOracle {
 
   // Best edge over many searchers (one logical processor each; parallel
   // reduction, deterministic tie-breaking by (target post, source id)).
+  // Sources are probed in simd::kBatchLanes-wide blocks: the probe-up window
+  // searches of a whole block run through one dispatched
+  // simd::lower_bound_batch pass (DESIGN.md §10) — the candidates, the
+  // tie-breaks and the cost accounting are identical to per-source
+  // query_vertex calls at every dispatch level.
   std::optional<Edge> query_sources(std::span<const Vertex> sources, PathSeg seg,
                                     PathEnd end) const;
+
+  // Batched form of query_vertex: out[i] == query_vertex(sources[i], seg, end)
+  // for every i < count (count may exceed simd::kBatchLanes; it is chunked).
+  // This is the primitive query_sources reduces over, exposed for the
+  // scalar≡SIMD differential suite and the probe microbench.
+  void query_vertex_batch(const Vertex* sources, std::size_t count, PathSeg seg,
+                          PathEnd end, std::optional<Edge>* out) const;
 
   // Edges between two disjoint base chains; the returned edge's endpoint on
   // `target` is nearest the given end of `target`. Internally searches from
@@ -159,6 +172,26 @@ class AdjacencyOracle {
     return query_segments(source, target, PathEnd::kTop).has_value();
   }
 
+  // Software prefetch of u's CSR adjacency row (data + posts + patch flag)
+  // for a sweep that will enumerate or probe u shortly. Pure hint: no
+  // observable effect.
+  void prefetch_adjacency(Vertex u) const {
+    const std::size_t su = static_cast<std::size_t>(u);
+    if (su >= built_capacity_) return;
+    const std::uint32_t off = sorted_offsets_[su];
+    simd::prefetch(sorted_data_.data() + off);
+    simd::prefetch(sorted_posts_.data() + off);
+    if (su < has_extras_.size()) simd::prefetch(&has_extras_[su]);
+  }
+
+  // True iff the CSR arrays sit on simd::kAlign boundaries (the layout
+  // invariant of DESIGN.md §10; pinned by tests).
+  bool csr_aligned() const {
+    return simd::is_aligned(sorted_offsets_.data()) &&
+           simd::is_aligned(sorted_data_.data()) &&
+           simd::is_aligned(sorted_posts_.data());
+  }
+
  private:
   struct Candidate {
     // Ordering key: post index of the target endpoint (larger = nearer top).
@@ -191,11 +224,25 @@ class AdjacencyOracle {
 
   // Direction (A): ancestors of u on seg (binary search over sorted list).
   Candidate probe_up(Vertex u, PathSeg seg, PathEnd end) const;
+  // The scan-and-pick tail of probe_up once the window [begin, finish) into
+  // u's CSR row is known — shared verbatim by the scalar path and the
+  // batched path, so their candidates and cost accounting cannot diverge.
+  Candidate probe_up_pick(Vertex u, std::size_t begin, std::size_t finish,
+                          PathEnd end) const;
+  // True iff probe_up would search for u over seg; fills the window bounds.
+  bool probe_up_window(Vertex u, PathSeg seg, std::int32_t& lo,
+                       std::int32_t& hi) const;
   // Direction (B): descendants of u on seg (windowed scan with chain filter).
   Candidate probe_down(Vertex u, PathSeg seg, PathEnd end) const;
   // Patched (inserted) edges of u restricted to seg.
   Candidate probe_extras(Vertex u, PathSeg seg, PathEnd end) const;
   Candidate probe_all(Vertex u, PathSeg seg, PathEnd end) const;
+  // probe_all over up to simd::kBatchLanes sources sharing one (seg, end):
+  // the probe-up window searches of all lanes (two lower_bounds each) run as
+  // one dispatched simd::lower_bound_batch pass; the picks, probe_down and
+  // probe_extras stay per-lane scalar. out[i] == probe_all(sources[i], ...).
+  void probe_batch(const Vertex* sources, std::size_t count, PathSeg seg,
+                   PathEnd end, Candidate* out) const;
   static Candidate better(Candidate a, Candidate b, PathEnd end);
 
   // Base neighbors of u ordered by base post index, flattened into CSR form
@@ -232,9 +279,11 @@ class AdjacencyOracle {
   const TreeIndex* base_ = nullptr;
   Vertex base_capacity_ = 0;
   std::size_t built_capacity_ = 0;  // graph capacity at build time
-  std::vector<std::uint32_t> sorted_offsets_;  // size built_capacity_ + 1
-  std::vector<Vertex> sorted_data_;
-  std::vector<std::int32_t> sorted_posts_;  // parallel to sorted_data_
+  // The CSR triple is 32-byte aligned (simd::kAlign): the batched probe
+  // kernel gathers from sorted_posts_, and the sweeps stream sorted_data_.
+  simd::aligned_vector<std::uint32_t> sorted_offsets_;  // size built_capacity_ + 1
+  simd::aligned_vector<Vertex> sorted_data_;
+  simd::aligned_vector<std::int32_t> sorted_posts_;  // parallel to sorted_data_
   // extras_[u]: endpoints of edges inserted after the build (includes edges
   // of inserted vertices). Small: O(k) per Theorem 9's k <= log n updates.
   // has_extras_[u] mirrors !extras_[u].empty() so the per-probe fast path is
@@ -244,8 +293,8 @@ class AdjacencyOracle {
   std::vector<std::uint8_t> has_deleted_;
   std::vector<std::uint8_t> dead_;
   std::unordered_set<std::uint64_t> deleted_edges_;
-  std::vector<std::uint64_t> sort_scratch_;    // (post, vertex) pairs, reused
-  std::vector<std::uint32_t> count_scratch_;   // degree counts, reused
+  simd::aligned_vector<std::uint64_t> sort_scratch_;   // (post, vertex) pairs, reused
+  simd::aligned_vector<std::uint32_t> count_scratch_;  // degree counts, reused
   std::size_t patch_count_ = 0;
   mutable pram::CostModel* cost_ = nullptr;
 };

@@ -271,6 +271,9 @@ void finish_traversal(detail::EngineCtx& ctx, const Component& comp,
     for (const std::size_t p : path_idx) {
       const Piece& pp = plan.leftovers[p];
       for (Vertex v = pp.bottom;; v = cur.parent(v)) {
+        // The next chain vertex's adjacency row is a dependent pointer chase
+        // away; issue its prefetch before sweeping v's row.
+        if (v != pp.top) oracle.prefetch_adjacency(cur.parent(v));
         oracle.for_each_current_neighbor(v, [&](Vertex z) {
           const std::int32_t j = piece_of(z);
           if (j >= 0 && j != static_cast<std::int32_t>(p)) {
@@ -318,6 +321,9 @@ void finish_traversal(detail::EngineCtx& ctx, const Component& comp,
   std::size_t unattached = groups.size();
   for (std::size_t idx = plan.pstar.size(); idx-- > 0 && unattached > 0;) {
     const Vertex q = plan.pstar[idx];
+    // p* is materialized, so the walk's next row is known: warm it while
+    // this row's stamped piece lookups execute.
+    if (idx > 0) oracle.prefetch_adjacency(plan.pstar[idx - 1]);
     oracle.for_each_current_neighbor(q, [&](Vertex z) {
       const std::int32_t j = piece_of(z);
       if (j < 0) return;

@@ -16,6 +16,7 @@
 #include "service/workload.hpp"
 #include "tree/validation.hpp"
 #include "util/random.hpp"
+#include "util/simd.hpp"
 
 namespace pardfs::testing {
 
@@ -63,6 +64,7 @@ std::string replay_line(const FuzzOptions& o) {
   line += " --max-batch=" + std::to_string(o.max_batch);
   line += " --threads=" + std::to_string(o.num_threads);
   if (o.corrupt_at >= 0) line += " --corrupt-at=" + std::to_string(o.corrupt_at);
+  if (o.force_scalar) line += " --force-scalar";
   return line;
 }
 
@@ -618,7 +620,21 @@ bool check_batch(BatchCheckContext ctx) {
 
 }  // namespace
 
-FuzzResult run_fuzz(const FuzzOptions& options) {
+FuzzResult run_fuzz(const FuzzOptions& options_in) {
+  // Fold the ambient scalar pin (env var or an enclosing set_force_scalar)
+  // into the recorded options: the replay line must reproduce the dispatch
+  // decision the run actually executed under.
+  FuzzOptions options = options_in;
+  options.force_scalar = options.force_scalar || simd::scalar_forced();
+  // Pin for the run, restore the previous state on every exit path.
+  struct ScalarGuard {
+    bool prev;
+    explicit ScalarGuard(bool on) : prev(simd::scalar_forced()) {
+      if (on) simd::set_force_scalar(true);
+    }
+    ~ScalarGuard() { simd::set_force_scalar(prev); }
+  } scalar_guard(options.force_scalar);
+
   FuzzResult result;
   Graph initial;
   const std::unique_ptr<UpdateStream> stream = make_stream(options, &initial);
@@ -660,7 +676,7 @@ FuzzResult run_fuzz(const FuzzOptions& options) {
 }
 
 FuzzResult run_soak(std::uint64_t seed_base, int seeds, int batches, Vertex n,
-                    int num_threads) {
+                    int num_threads, bool force_scalar) {
   FuzzResult total;
   for (int s = 0; s < seeds; ++s) {
     for (const FuzzFamily family :
@@ -674,6 +690,7 @@ FuzzResult run_soak(std::uint64_t seed_base, int seeds, int batches, Vertex n,
         o.n = n;
         o.batches = batches;
         o.num_threads = num_threads;
+        o.force_scalar = force_scalar;
         FuzzResult r = run_fuzz(o);
         if (!r.ok) {
           r.batches += total.batches;

@@ -60,6 +60,11 @@ struct FuzzOptions {
   // Debug hook: corrupt the checked parent array before the checks of this
   // batch index (-1 = never). The run must FAIL with a replay line.
   int corrupt_at = -1;
+  // Pin the SIMD dispatch (util/simd) to the scalar reference for this run.
+  // The effective mode (this flag OR an ambient scalar pin already in
+  // force) is captured in the replay line, so a failure replays under the
+  // dispatch decision it was found under.
+  bool force_scalar = false;
 };
 
 struct FuzzResult {
@@ -82,7 +87,7 @@ FuzzResult run_fuzz(const FuzzOptions& options);
 // points, `batches` batches each. Stops at the first failure (its result is
 // returned); otherwise returns an ok result with the accumulated totals.
 FuzzResult run_soak(std::uint64_t seed_base, int seeds, int batches, Vertex n,
-                    int num_threads = 0);
+                    int num_threads = 0, bool force_scalar = false);
 
 // The replay line run_fuzz/run_soak would print for `options`.
 std::string replay_line(const FuzzOptions& options);

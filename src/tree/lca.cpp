@@ -99,49 +99,57 @@ std::size_t LcaTable::heap_capacity_bytes() const {
 }
 
 std::int32_t LcaTable::in_block(std::int32_t lo, std::int32_t hi) const {
-  const std::int32_t b = lo / kBlock;
-  const std::int32_t base = b * kBlock;
-  return base +
-         g_patterns.pos[pattern_[static_cast<std::size_t>(b)]][lo - base][hi - base];
+  // lo and hi share a block; locals fall out of the low bits, no division.
+  const std::int32_t base = lo & ~kBlockMask;
+  return base + g_patterns.pos[pattern_[static_cast<std::size_t>(
+                    lo >> kBlockShift)]][lo & kBlockMask][hi & kBlockMask];
 }
 
 std::int32_t LcaTable::argmin(std::int32_t lo, std::int32_t hi) const {
-  const std::int32_t bl = lo / kBlock;
-  const std::int32_t bh = hi / kBlock;
-  if (bl == bh) return in_block(lo, hi);
-  // Partial blocks at both ends, full blocks answered by the sparse table.
-  std::int32_t best = in_block(lo, bl * kBlock + kBlock - 1);
-  const std::int32_t tail = in_block(bh * kBlock, hi);
-  if (depth_at_[static_cast<std::size_t>(tail)] <
-      depth_at_[static_cast<std::size_t>(best)]) {
-    best = tail;
-  }
-  if (bh - bl > 1) {
-    const std::int32_t first = bl + 1;
-    const std::int32_t last = bh - 1;  // inclusive block range
-    const std::int32_t k = log2_[static_cast<std::size_t>(last - first + 1)];
-    const std::int32_t* row =
-        block_table_.data() + static_cast<std::size_t>(k) * num_blocks_;
-    const std::int32_t a = row[first];
-    const std::int32_t b = row[last - (1 << k) + 1];
-    const std::int32_t mid =
-        depth_at_[static_cast<std::size_t>(a)] <= depth_at_[static_cast<std::size_t>(b)]
-            ? a
-            : b;
-    if (depth_at_[static_cast<std::size_t>(mid)] <
-        depth_at_[static_cast<std::size_t>(best)]) {
-      best = mid;
-    }
-  }
+  // Branch-free evaluation (DESIGN.md §10): instead of the per-level
+  // if-ladder (same block? middle blocks?), every candidate is computed
+  // over a clamped window and dead candidates lose by construction:
+  //   * head window [lo, min(hi, bl's end)] and tail window
+  //     [max(lo, bh's start), hi] both degenerate to [lo, hi] when
+  //     bl == bh, so the head/tail min IS the answer there;
+  //   * the sparse-table middle is clamped to the single block bl when no
+  //     full middle block exists and its candidate is masked out by
+  //     have_mid. Every select below is a cmov-friendly ternary.
+  const std::int32_t bl = lo >> kBlockShift;
+  const std::int32_t bh = hi >> kBlockShift;
+  const std::int32_t head_hi = std::min(hi, (bl << kBlockShift) | kBlockMask);
+  const std::int32_t tail_lo = std::max(lo, bh << kBlockShift);
+  const std::int32_t head = in_block(lo, head_hi);
+  const std::int32_t tail = in_block(tail_lo, hi);
+  std::int32_t best = depth_at_[static_cast<std::size_t>(tail)] <
+                              depth_at_[static_cast<std::size_t>(head)]
+                          ? tail
+                          : head;
+  const bool have_mid = bh - bl > 1;
+  const std::int32_t first = have_mid ? bl + 1 : bl;
+  const std::int32_t last = have_mid ? bh - 1 : bl;
+  const std::int32_t k = log2_[static_cast<std::size_t>(last - first + 1)];
+  const std::int32_t* row =
+      block_table_.data() + static_cast<std::size_t>(k) * num_blocks_;
+  const std::int32_t a = row[first];
+  const std::int32_t b = row[last - (1 << k) + 1];
+  const std::int32_t mid =
+      depth_at_[static_cast<std::size_t>(a)] <= depth_at_[static_cast<std::size_t>(b)]
+          ? a
+          : b;
+  best = have_mid && depth_at_[static_cast<std::size_t>(mid)] <
+                         depth_at_[static_cast<std::size_t>(best)]
+             ? mid
+             : best;
   return best;
 }
 
 Vertex LcaTable::query(Vertex u, Vertex v) const {
-  std::int32_t pu = first_pos_[static_cast<std::size_t>(u)];
-  std::int32_t pv = first_pos_[static_cast<std::size_t>(v)];
+  const std::int32_t pu = first_pos_[static_cast<std::size_t>(u)];
+  const std::int32_t pv = first_pos_[static_cast<std::size_t>(v)];
   PARDFS_DCHECK(pu >= 0 && pv >= 0);
-  if (pu > pv) std::swap(pu, pv);
-  return euler_[static_cast<std::size_t>(argmin(pu, pv))];
+  return euler_[static_cast<std::size_t>(
+      argmin(std::min(pu, pv), std::max(pu, pv)))];
 }
 
 }  // namespace pardfs

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "graph/edge.hpp"
+#include "util/simd.hpp"
 
 namespace pardfs {
 
@@ -45,23 +46,30 @@ class LcaTable {
 
  private:
   static constexpr std::int32_t kBlock = 8;
+  static constexpr std::int32_t kBlockShift = 3;  // log2(kBlock)
+  static constexpr std::int32_t kBlockMask = kBlock - 1;
 
   std::int32_t argmin(std::int32_t lo, std::int32_t hi) const;  // inclusive range
   // In-block argmin over tour positions [lo, hi] (same block) via the
   // pattern table.
   std::int32_t in_block(std::int32_t lo, std::int32_t hi) const;
 
+  // euler_/depth_at_/first_pos_ stay plain std::vector: build() SWAPS them
+  // with the caller's buffers, so the allocator is part of that contract.
   std::vector<Vertex> euler_;
   std::vector<std::int32_t> depth_at_;
   std::vector<std::int32_t> first_pos_;
   // Descent pattern of each block: bit t set iff depth decreases from local
-  // position t-1 to t (t in 1..kBlock-1).
-  std::vector<std::uint8_t> pattern_;
+  // position t-1 to t (t in 1..kBlock-1). The block tables below are the
+  // query-time working set and sit on simd::kAlign boundaries (DESIGN.md
+  // §10) so a query's handful of loads splits across as few lines as the
+  // layout allows.
+  simd::aligned_vector<std::uint8_t> pattern_;
   // block_table_ is a flat level-major array: level k (window of 2^k blocks)
   // lives at [k * num_blocks_, k * num_blocks_ + num_blocks_ - 2^k + 1) and
   // holds the argmin tour position of that block window.
-  std::vector<std::int32_t> block_table_;
-  std::vector<std::int32_t> log2_;  // log2_[b] for block counts
+  simd::aligned_vector<std::int32_t> block_table_;
+  simd::aligned_vector<std::int32_t> log2_;  // log2_[b] for block counts
   std::int32_t num_blocks_ = 0;
 };
 

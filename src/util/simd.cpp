@@ -1,0 +1,150 @@
+#include "util/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define PARDFS_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace pardfs::simd {
+namespace {
+
+using LowerBoundFn = void (*)(const std::int32_t*, const std::uint32_t*,
+                              const std::uint32_t*, const std::int32_t*,
+                              std::uint32_t*, std::size_t);
+
+// The reference: a branchless scalar lower_bound per lane. Every dispatched
+// body must reproduce these indices exactly — lower_bound's result is the
+// unique insertion point, so equality is by definition, not by luck.
+void lower_bound_scalar(const std::int32_t* keys, const std::uint32_t* starts,
+                        const std::uint32_t* lens, const std::int32_t* needles,
+                        std::uint32_t* out, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::int32_t* base = keys + starts[i];
+    const std::int32_t needle = needles[i];
+    std::uint32_t lo = 0;
+    std::uint32_t n = lens[i];
+    while (n > 0) {
+      const std::uint32_t half = n >> 1;
+      const std::uint32_t mid = lo + half;
+      if (base[mid] < needle) {
+        lo = mid + 1;
+        n -= half + 1;
+      } else {
+        n = half;
+      }
+    }
+    out[i] = lo;
+  }
+}
+
+#if defined(PARDFS_SIMD_X86)
+// Same search, 8 lanes per pass: each iteration gathers keys[start + mid]
+// for every still-active lane and steps all of them with blends — no
+// per-lane branch, so the loop runs ceil(log2 max-len) predictable
+// iterations. The masked gather performs NO memory access for converged
+// lanes (their index may point one past their subrange), and feeding the
+// lane's own needle as the masked-source makes its step a no-op.
+__attribute__((target("avx2"))) void lower_bound_avx2(
+    const std::int32_t* keys, const std::uint32_t* starts,
+    const std::uint32_t* lens, const std::int32_t* needles, std::uint32_t* out,
+    std::size_t count) {
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + kBatchLanes <= count; i += kBatchLanes) {
+    __m256i lo = zero;
+    __m256i n =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lens + i));
+    const __m256i start =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(starts + i));
+    const __m256i needle =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(needles + i));
+    while (!_mm256_testz_si256(n, n)) {
+      const __m256i active = _mm256_cmpgt_epi32(n, zero);
+      const __m256i half = _mm256_srli_epi32(n, 1);
+      const __m256i mid = _mm256_add_epi32(lo, half);
+      const __m256i idx = _mm256_add_epi32(start, mid);
+      const __m256i vals =
+          _mm256_mask_i32gather_epi32(needle, keys, idx, active, 4);
+      // lower_bound step: keys[mid] < needle ? (lo = mid+1, n -= half+1)
+      //                                      : (n = half)
+      const __m256i advance = _mm256_cmpgt_epi32(needle, vals);
+      lo = _mm256_blendv_epi8(lo, _mm256_add_epi32(mid, one), advance);
+      const __m256i n_adv =
+          _mm256_sub_epi32(_mm256_sub_epi32(n, half), one);
+      n = _mm256_blendv_epi8(half, n_adv, advance);
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), lo);
+  }
+  if (i < count) {
+    lower_bound_scalar(keys, starts + i, lens + i, needles + i, out + i,
+                       count - i);
+  }
+}
+#endif  // PARDFS_SIMD_X86
+
+bool env_force_scalar() {
+  const char* v = std::getenv("PARDFS_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+bool cpu_has_avx2() {
+#if defined(PARDFS_SIMD_X86)
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+// Resolved once at startup (env + cpuid), re-resolved by set_force_scalar.
+const bool g_env_force = env_force_scalar();
+const bool g_cpu_avx2 = cpu_has_avx2();
+std::atomic<bool> g_force_scalar{g_env_force};
+
+LowerBoundFn resolve_lower_bound() {
+#if defined(PARDFS_SIMD_X86)
+  if (g_cpu_avx2 && !g_force_scalar.load(std::memory_order_relaxed)) {
+    return &lower_bound_avx2;
+  }
+#endif
+  return &lower_bound_scalar;
+}
+
+std::atomic<LowerBoundFn> g_lower_bound{resolve_lower_bound()};
+
+}  // namespace
+
+Level active_level() {
+#if defined(PARDFS_SIMD_X86)
+  if (g_cpu_avx2 && !g_force_scalar.load(std::memory_order_relaxed)) {
+    return Level::kAvx2;
+  }
+#endif
+  return Level::kScalar;
+}
+
+const char* level_name(Level level) {
+  return level == Level::kAvx2 ? "avx2" : "scalar";
+}
+
+bool scalar_forced() { return g_force_scalar.load(std::memory_order_relaxed); }
+
+void set_force_scalar(bool on) {
+  // The environment pin is sticky: set_force_scalar(false) restores the
+  // cpuid decision only when PARDFS_FORCE_SCALAR is not set.
+  g_force_scalar.store(on || g_env_force, std::memory_order_relaxed);
+  g_lower_bound.store(resolve_lower_bound(), std::memory_order_relaxed);
+}
+
+void lower_bound_batch(const std::int32_t* keys, const std::uint32_t* starts,
+                       const std::uint32_t* lens, const std::int32_t* needles,
+                       std::uint32_t* out, std::size_t count) {
+  g_lower_bound.load(std::memory_order_relaxed)(keys, starts, lens, needles,
+                                                out, count);
+}
+
+}  // namespace pardfs::simd

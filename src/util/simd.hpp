@@ -1,0 +1,99 @@
+// Runtime-dispatched SIMD kernels and the aligned memory layout under the
+// D hot path (DESIGN.md §10).
+//
+// The query work of the paper is dominated by O(log deg) binary searches
+// over the oracle's contiguous post-order keys (probe_up/probe_down windows)
+// and O(1) LCA lookups. On the 1-core CI box the available win is IPC, not
+// thread scaling: this module batches 8 independent probe searches into one
+// AVX2 gather loop over the shared CSR key array and backs every consumer
+// with 32-byte-aligned allocations (the pSCAN idiom — SNIPPETS.md §2).
+//
+// Dispatch policy:
+//   * kernels exist in two versions — a plain scalar loop and an AVX2 body
+//     compiled via the `target("avx2")` function attribute (no global
+//     -mavx2 required; the baseline-ISA build carries both);
+//   * one cpuid probe at startup picks the function pointer; the
+//     PARDFS_FORCE_SCALAR environment variable (or set_force_scalar(), the
+//     hook used by tests and pardfs_fuzz --force-scalar) pins it to scalar;
+//   * the scalar path is the pinned-identical reference: every kernel's
+//     contract is defined by its scalar loop, and the vector body must
+//     return the same bytes (lower_bound indices are uniquely determined,
+//     so this is structural, not best-effort). Engine determinism (DESIGN.md
+//     §8) therefore does not depend on the dispatch decision.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace pardfs::simd {
+
+enum class Level : std::uint8_t { kScalar = 0, kAvx2 = 1 };
+
+// The level query calls dispatch to right now (cpuid ∧ not forced scalar).
+Level active_level();
+const char* level_name(Level level);
+
+// True iff scalar execution is pinned — by the PARDFS_FORCE_SCALAR
+// environment variable (read once at startup) or by set_force_scalar().
+bool scalar_forced();
+// Programmatic override (tests, fuzz replay). Re-resolves the dispatch
+// table; pass false to restore the cpuid decision (unless the environment
+// variable still pins scalar).
+void set_force_scalar(bool on);
+
+// Alignment of every hot-path array (CSR data/posts/offsets, LCA block
+// tables): one AVX2 register row, two per cache line.
+inline constexpr std::size_t kAlign = 32;
+
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t{kAlign}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{kAlign});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+// Drop-in vector whose data() is kAlign-aligned. Identical capacity()
+// semantics, so heap_capacity_bytes() accounting is unchanged.
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+template <typename T>
+bool is_aligned(const T* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % kAlign == 0;
+}
+
+// Read prefetch into all cache levels; no-op semantics (safe on any
+// address, including one past the end of an array).
+inline void prefetch(const void* p) { __builtin_prefetch(p, 0, 3); }
+
+// Lanes per batched-kernel pass: one AVX2 register of 32-bit elements.
+inline constexpr std::size_t kBatchLanes = 8;
+
+// Batched branch-free lower_bound over `count` sorted subranges of ONE
+// shared key array (the oracle's CSR `sorted_posts_`):
+//   out[i] = lower_bound(keys + starts[i], keys + starts[i] + lens[i],
+//                        needles[i]) - (keys + starts[i])
+// Lanes are independent; the AVX2 body answers kBatchLanes of them per
+// gather loop, converging in ceil(log2 max-len) iterations with no
+// per-lane branches. Keys and needles must be non-negative (post-order
+// indices), lens < 2^31.
+void lower_bound_batch(const std::int32_t* keys, const std::uint32_t* starts,
+                       const std::uint32_t* lens, const std::int32_t* needles,
+                       std::uint32_t* out, std::size_t count);
+
+}  // namespace pardfs::simd

@@ -164,6 +164,10 @@ TEST(Rebuild, OracleRebuildIsCapacityStable) {
   for (int i = 0; i < 5; ++i) {
     oracle.build(g, idx);
     EXPECT_EQ(oracle.heap_capacity_bytes(), stable) << "rebuild " << i;
+    // The aligned-allocator switch must not disturb capacity accounting,
+    // and every rebuild must land the CSR on simd::kAlign boundaries
+    // (DESIGN.md §10 layout invariant).
+    EXPECT_TRUE(oracle.csr_aligned()) << "rebuild " << i;
   }
 }
 

@@ -20,6 +20,7 @@
 #include <string_view>
 
 #include "testing/fuzz.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -39,7 +40,8 @@ void usage(const char* argv0) {
       stderr,
       "usage: %s [--seed=U64] [--scenario=random|power_law|grid|dynamic_map]\n"
       "          [--entry=core|service] [--n=N] [--batches=B] [--max-batch=K]\n"
-      "          [--threads=T] [--corrupt-at=B] [--soak=SEEDS] [--minutes=M]\n",
+      "          [--threads=T] [--corrupt-at=B] [--soak=SEEDS] [--minutes=M]\n"
+      "          [--force-scalar]\n",
       argv0);
 }
 
@@ -94,6 +96,10 @@ bool parse_arg(std::string_view arg, CliOptions& cli) {
     cli.minutes = std::atof(std::string(v).c_str());
     return cli.minutes > 0.0;
   }
+  if (arg == "--force-scalar") {
+    cli.fuzz.force_scalar = true;
+    return true;
+  }
   return false;
 }
 
@@ -121,6 +127,9 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  // Reflect an ambient PARDFS_FORCE_SCALAR pin in the printed run lines so
+  // they replay the effective dispatch mode.
+  cli.fuzz.force_scalar = cli.fuzz.force_scalar || pardfs::simd::scalar_forced();
 
   if (cli.minutes > 0.0) {
     // Time-budgeted soak: sweep the full matrix with fresh seeds until the
@@ -132,9 +141,9 @@ int main(int argc, char** argv) {
     FuzzResult total;
     std::uint64_t seed_base = cli.fuzz.seed;
     do {
-      const FuzzResult r =
-          pardfs::testing::run_soak(seed_base, /*seeds=*/1, cli.fuzz.batches,
-                                    cli.fuzz.n, cli.fuzz.num_threads);
+      const FuzzResult r = pardfs::testing::run_soak(
+          seed_base, /*seeds=*/1, cli.fuzz.batches, cli.fuzz.n,
+          cli.fuzz.num_threads, cli.fuzz.force_scalar);
       if (!r.ok) return report(r);
       total.batches += r.batches;
       total.updates += r.updates;
@@ -147,9 +156,9 @@ int main(int argc, char** argv) {
   }
 
   if (cli.soak_seeds > 0) {
-    return report(pardfs::testing::run_soak(cli.fuzz.seed, cli.soak_seeds,
-                                            cli.fuzz.batches, cli.fuzz.n,
-                                            cli.fuzz.num_threads));
+    return report(pardfs::testing::run_soak(
+        cli.fuzz.seed, cli.soak_seeds, cli.fuzz.batches, cli.fuzz.n,
+        cli.fuzz.num_threads, cli.fuzz.force_scalar));
   }
 
   std::printf("run: %s\n", pardfs::testing::replay_line(cli.fuzz).c_str());
