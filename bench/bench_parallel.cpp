@@ -38,7 +38,7 @@ void run_scenario(benchmark::State& state, service::Scenario scenario) {
   std::vector<GraphUpdate> batch;
   std::uint64_t updates = 0;
   std::uint64_t rounds = 0;
-  const UpdatePhaseBreakdown before = dfs.phase_breakdown();
+  const UpdatePhaseBreakdown before = DynamicDfs::phase_breakdown();
   for (auto _ : state) {
     state.PauseTiming();
     batch.clear();
@@ -56,19 +56,19 @@ void run_scenario(benchmark::State& state, service::Scenario scenario) {
       static_cast<double>(rounds), benchmark::Counter::kAvgIterations);
   // E13 phase breakdown across the whole run (per absorbed update, µs):
   // shows how much of a batch is rerooting (the part the worker team
-  // parallelizes) vs index rebuild / epoch rebase / patching.
-  const UpdatePhaseBreakdown& after = dfs.phase_breakdown();
+  // parallelizes) vs index rebuild / epoch rebase / patching. Read as a
+  // mark-and-delta over the registry's cumulative series (DESIGN.md §11).
+  const UpdatePhaseBreakdown after = DynamicDfs::phase_breakdown();
   const double per_update =
-      updates > 0 ? 1e-3 / static_cast<double>(updates) : 0.0;
-  state.counters["patch_us/update"] = benchmark::Counter(
-      static_cast<double>(after.patch_ns - before.patch_ns) * per_update);
-  state.counters["reroot_us/update"] = benchmark::Counter(
-      static_cast<double>(after.reroot_ns - before.reroot_ns) * per_update);
+      updates > 0 ? 1.0 / static_cast<double>(updates) : 0.0;
+  state.counters["patch_us/update"] =
+      benchmark::Counter((after.patch_us - before.patch_us) * per_update);
+  state.counters["reroot_us/update"] =
+      benchmark::Counter((after.reroot_us - before.reroot_us) * per_update);
   state.counters["index_rebuild_us/update"] = benchmark::Counter(
-      static_cast<double>(after.index_rebuild_ns - before.index_rebuild_ns) *
-      per_update);
-  state.counters["rebase_us/update"] = benchmark::Counter(
-      static_cast<double>(after.rebase_ns - before.rebase_ns) * per_update);
+      (after.index_rebuild_us - before.index_rebuild_us) * per_update);
+  state.counters["rebase_us/update"] =
+      benchmark::Counter((after.rebase_us - before.rebase_us) * per_update);
 }
 
 void BM_BatchUpdate_AdversarialStar(benchmark::State& state) {

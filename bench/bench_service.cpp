@@ -12,12 +12,16 @@
 // run_bench.sh emits this binary's JSON as BENCH_service.json.
 #include <benchmark/benchmark.h>
 
-#include <algorithm>
 #include <atomic>
-#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/dfs_service.hpp"
 #include "service/workload.hpp"
 #include "util/random.hpp"
@@ -26,6 +30,26 @@ namespace {
 
 using namespace pardfs;
 using namespace pardfs::service;
+
+// CI artifact hook: with PARDFS_OBS_DUMP_DIR set, phase tracing runs for the
+// whole binary and at process exit the registry's Prometheus page plus the
+// chrome://tracing JSON land in that directory (uploaded by the bench-smoke
+// job; see EXPERIMENTS.md E16 for loading the trace).
+struct ObsDump {
+  ObsDump() {
+    if (std::getenv("PARDFS_OBS_DUMP_DIR") != nullptr) {
+      obs::set_tracing_enabled(true);
+    }
+  }
+  ~ObsDump() {
+    const char* dir = std::getenv("PARDFS_OBS_DUMP_DIR");
+    if (dir == nullptr) return;
+    std::ofstream(std::string(dir) + "/BENCH_service_metrics.prom")
+        << obs::prometheus_text();
+    std::ofstream(std::string(dir) + "/BENCH_service_trace.json")
+        << obs::chrome_trace_json();
+  }
+} g_obs_dump;
 
 // A reader performs batches of queries, reloading the snapshot between
 // batches (the serving pattern: one atomic load amortized over many answers).
@@ -103,27 +127,21 @@ void BM_ServiceUpdateLatency(benchmark::State& state) {
       }
     });
   }
-  std::vector<double> latencies_us;
-  latencies_us.reserve(1 << 16);
+  // Latency percentiles come from the registry's ack-latency histogram —
+  // the same series production scrapes (submit -> ack, recorded by the
+  // writer). Reset scopes the histogram to this run's samples.
+  obs::Registry::global().reset();
   for (auto _ : state) {
-    const auto begin = std::chrono::steady_clock::now();
     (void)svc.apply_sync(driver.next());
-    const auto end = std::chrono::steady_clock::now();
-    latencies_us.push_back(
-        std::chrono::duration<double, std::micro>(end - begin).count());
   }
   stop_readers.store(true);
   for (auto& t : pool) t.join();
   svc.stop();
-  std::sort(latencies_us.begin(), latencies_us.end());
-  const auto percentile = [&](double p) {
-    if (latencies_us.empty()) return 0.0;
-    const auto idx = static_cast<std::size_t>(
-        p * static_cast<double>(latencies_us.size() - 1));
-    return latencies_us[idx];
-  };
-  state.counters["p50_us"] = percentile(0.50);
-  state.counters["p99_us"] = percentile(0.99);
+  const obs::HistogramSnapshot lat =
+      obs::Registry::global().histogram("pardfs_ack_latency_us", "", 1e-3)
+          .snapshot();
+  state.counters["p50_us"] = lat.p50;
+  state.counters["p99_us"] = lat.p99;
   state.SetLabel(scenario_name(scenario));
 }
 BENCHMARK(BM_ServiceUpdateLatency)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Observability overhead gate: fail if the metrics hot path costs > 3%.
+
+Reads two google-benchmark JSON files for the same bench_update run — one
+from the normal build (metrics compiled in and enabled) and one from a twin
+-DPARDFS_NO_METRICS=ON build — and compares BM_DynamicUpdate/<n> per-update
+wall time. The instrumented build may be at most --max-overhead (default
+0.03 = 3%) slower; anything beyond that means a recording path grew a lock,
+a syscall, or a clock read it must not have (DESIGN.md §11 budget).
+
+When the files carry repetition aggregates, the median is compared (run with
+--benchmark_repetitions=N to get one); otherwise the single iteration mean.
+
+Usage: check_obs_overhead.py BENCH_update.json BENCH_update_nometrics.json
+       [--n 32768] [--max-overhead 0.03]
+"""
+import argparse
+import json
+import sys
+
+
+def real_time_us(bench):
+    t = bench["real_time"]
+    unit = bench.get("time_unit", "ns")
+    scale = {"ns": 1e-3, "us": 1.0, "ms": 1e3, "s": 1e6}[unit]
+    return t * scale
+
+
+def benchmark_time(path, name):
+    """Median-of-repetitions if present, else the plain iteration entry."""
+    with open(path) as f:
+        data = json.load(f)
+    median = plain = None
+    for b in data.get("benchmarks", []):
+        if b.get("run_name", b["name"]) != name:
+            continue
+        if b.get("aggregate_name") == "median":
+            median = real_time_us(b)
+        elif b.get("run_type") != "aggregate":
+            plain = real_time_us(b)
+    return median if median is not None else plain
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("metrics_json")
+    ap.add_argument("nometrics_json")
+    ap.add_argument("--n", type=int, default=32768)
+    ap.add_argument("--max-overhead", type=float, default=0.03)
+    args = ap.parse_args()
+
+    name = f"BM_DynamicUpdate/{args.n}"
+    with_metrics = benchmark_time(args.metrics_json, name)
+    without = benchmark_time(args.nometrics_json, name)
+    if with_metrics is None or without is None:
+        print(
+            f"check_obs_overhead: missing {name} in "
+            f"{args.metrics_json if with_metrics is None else args.nometrics_json}",
+            file=sys.stderr,
+        )
+        return 2
+
+    overhead = with_metrics / without - 1.0
+    print(
+        f"check_obs_overhead: metrics {with_metrics:.1f}us / "
+        f"no-metrics {without:.1f}us = {overhead * 100.0:+.2f}% "
+        f"(allowed <= {args.max_overhead * 100.0:.1f}%)"
+    )
+    if overhead > args.max_overhead:
+        print(
+            "check_obs_overhead: FAIL — the observability hot path got "
+            f"expensive ({overhead * 100.0:.2f}% > "
+            f"{args.max_overhead * 100.0:.1f}%)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

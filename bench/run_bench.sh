@@ -59,10 +59,31 @@ fi
 # Ratio guard: the dynamic update path must stay >= 1.3x faster than the
 # static recompute at n = 2^15 (the epoch-tax regression tripwire).
 python3 "$ROOT/bench/check_update_ratio.py" "$ROOT/BENCH_update.json" --min-ratio 1.3
+
+# Observability overhead gate: BM_DynamicUpdate/32768 from the instrumented
+# build vs a twin -DPARDFS_NO_METRICS=ON build, medians of 5 repetitions;
+# the metrics hot path may cost at most 3% (DESIGN.md §11 budget).
+cmake -B "$BUILD-nometrics" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
+  -DPARDFS_NO_METRICS=ON \
+  -DPARDFS_BUILD_BENCH=ON -DPARDFS_BUILD_TESTS=OFF -DPARDFS_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD-nometrics" -j "$(nproc)" --target bench_update
+"$BUILD/bench/bench_update" \
+  --benchmark_filter='^BM_DynamicUpdate/32768$' \
+  --benchmark_min_time="$MIN_TIME" --benchmark_repetitions=5 \
+  --benchmark_out_format=json --benchmark_out="$ROOT/BENCH_update_obsgate.json"
+"$BUILD-nometrics/bench/bench_update" \
+  --benchmark_filter='^BM_DynamicUpdate/32768$' \
+  --benchmark_min_time="$MIN_TIME" --benchmark_repetitions=5 \
+  --benchmark_out_format=json --benchmark_out="$ROOT/BENCH_update_nometrics.json"
+python3 "$ROOT/bench/check_obs_overhead.py" \
+  "$ROOT/BENCH_update_obsgate.json" "$ROOT/BENCH_update_nometrics.json"
 "$BUILD/bench/bench_preprocess" \
   --benchmark_min_time="$MIN_TIME" \
   --benchmark_out_format=json --benchmark_out="$ROOT/BENCH_preprocess.json"
-"$BUILD/bench/bench_service" \
+# PARDFS_OBS_DUMP_DIR makes bench_service also drop the obs registry page
+# (BENCH_service_metrics.prom) and the phase trace (BENCH_service_trace.json,
+# loadable at chrome://tracing) next to the bench JSON.
+PARDFS_OBS_DUMP_DIR="$ROOT" "$BUILD/bench/bench_service" \
   --benchmark_min_time="$MIN_TIME" \
   --benchmark_out_format=json --benchmark_out="$ROOT/BENCH_service.json"
 "$BUILD/bench/bench_parallel" \
@@ -77,4 +98,6 @@ python3 "$ROOT/bench/check_update_ratio.py" "$ROOT/BENCH_update.json" --min-rati
 python3 "$ROOT/bench/check_probe_ratio.py" "$ROOT/BENCH_oracle.json" --min-ratio 1.3
 
 echo "wrote $ROOT/BENCH_update.json, $ROOT/BENCH_preprocess.json," \
-     "$ROOT/BENCH_service.json, $ROOT/BENCH_parallel.json and $ROOT/BENCH_oracle.json"
+     "$ROOT/BENCH_service.json (+ _metrics.prom, _trace.json)," \
+     "$ROOT/BENCH_parallel.json, $ROOT/BENCH_oracle.json and" \
+     "$ROOT/BENCH_update_nometrics.json"

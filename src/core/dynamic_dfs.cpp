@@ -1,32 +1,82 @@
 #include "core/dynamic_dfs.hpp"
 
-#include <chrono>
 #include <utility>
 
 #include "baseline/static_dfs.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace pardfs {
 namespace {
 
-// Scope guard accumulating wall time into one UpdatePhaseBreakdown slot.
-class PhaseTimer {
- public:
-  explicit PhaseTimer(std::uint64_t& slot)
-      : slot_(slot), start_(std::chrono::steady_clock::now()) {}
-  ~PhaseTimer() {
-    slot_ += static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - start_)
-            .count());
-  }
-  PhaseTimer(const PhaseTimer&) = delete;
-  PhaseTimer& operator=(const PhaseTimer&) = delete;
+// The update-path phase histograms (DESIGN.md §11). Recorded in raw
+// nanoseconds, exported in microseconds; one sample per scoped phase entry,
+// so quantiles are per-phase-execution latencies and sums reproduce the old
+// cumulative UpdatePhaseBreakdown. The service layer owns the two remaining
+// pipeline phases (queue_wait, publish) under the same metric name.
+// Registration is once per process; the references are stable forever.
+obs::Histogram& patch_hist() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "pardfs_update_phase_us", "phase=\"patch\"", 1e-3);
+  return h;
+}
+obs::Histogram& reroot_hist() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "pardfs_update_phase_us", "phase=\"reroot\"", 1e-3);
+  return h;
+}
+obs::Histogram& index_rebuild_hist() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "pardfs_update_phase_us", "phase=\"index_rebuild\"", 1e-3);
+  return h;
+}
+obs::Histogram& rebase_hist() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "pardfs_update_phase_us", "phase=\"rebase\"", 1e-3);
+  return h;
+}
 
- private:
-  std::uint64_t& slot_;
-  std::chrono::steady_clock::time_point start_;
-};
+// Mirror of the per-run RerootStats counters (paper Theorem 3/4 evidence)
+// into registry counters, bumped after every engine pass. The struct stays
+// the deterministic per-run record (tests fingerprint it); the registry
+// series are its process-wide running totals.
+void mirror_reroot_stats(const RerootStats& s) {
+  static obs::Registry& reg = obs::Registry::global();
+  static obs::Counter& rounds = reg.counter("pardfs_reroot_rounds_total");
+  static obs::Counter& query_batches =
+      reg.counter("pardfs_reroot_query_batches_total");
+  static obs::Counter& components =
+      reg.counter("pardfs_reroot_components_total");
+  static obs::Counter& vertices =
+      reg.counter("pardfs_reroot_vertices_traversed_total");
+  static obs::Counter& disintegrating =
+      reg.counter("pardfs_reroot_traversals_total", "kind=\"disintegrating\"");
+  static obs::Counter& path_halving =
+      reg.counter("pardfs_reroot_traversals_total", "kind=\"path_halving\"");
+  static obs::Counter& disconnecting =
+      reg.counter("pardfs_reroot_traversals_total", "kind=\"disconnecting\"");
+  static obs::Counter& heavy_l =
+      reg.counter("pardfs_reroot_traversals_total", "kind=\"heavy_l\"");
+  static obs::Counter& heavy_p =
+      reg.counter("pardfs_reroot_traversals_total", "kind=\"heavy_p\"");
+  static obs::Counter& heavy_r =
+      reg.counter("pardfs_reroot_traversals_total", "kind=\"heavy_r\"");
+  static obs::Counter& fallbacks = reg.counter("pardfs_reroot_fallbacks_total");
+  static obs::Counter& serial_finishes =
+      reg.counter("pardfs_reroot_serial_finishes_total");
+  if (s.global_rounds != 0) rounds.add(s.global_rounds);
+  if (s.query_batches != 0) query_batches.add(s.query_batches);
+  if (s.components_processed != 0) components.add(s.components_processed);
+  if (s.vertices_traversed != 0) vertices.add(s.vertices_traversed);
+  if (s.disintegrating != 0) disintegrating.add(s.disintegrating);
+  if (s.path_halving != 0) path_halving.add(s.path_halving);
+  if (s.disconnecting != 0) disconnecting.add(s.disconnecting);
+  if (s.heavy_l != 0) heavy_l.add(s.heavy_l);
+  if (s.heavy_p != 0) heavy_p.add(s.heavy_p);
+  if (s.heavy_r != 0) heavy_r.add(s.heavy_r);
+  if (s.fallbacks != 0) fallbacks.add(s.fallbacks);
+  if (s.serial_finishes != 0) serial_finishes.add(s.serial_finishes);
+}
 
 // Retired indices kept for buffer reuse: current + epoch base + one in
 // flight. Beyond that (snapshots pinning history) fresh allocations take
@@ -43,6 +93,10 @@ DynamicDfs::DynamicDfs(Graph graph, RerootStrategy strategy,
       cost_(cost),
       num_threads_(num_threads),
       serial_cutoff_(serial_cutoff) {
+  // Eager registration: all four core phase series appear (at zero) on a
+  // metrics page even before the first update touches them.
+  patch_hist();
+  reroot_hist();
   parent_ = static_dfs(graph_);
   rebuild_index();
   rebase();
@@ -68,7 +122,7 @@ std::shared_ptr<TreeIndex> DynamicDfs::acquire_index_slot() {
 }
 
 void DynamicDfs::rebuild_index() {
-  PhaseTimer timer(phases_.index_rebuild_ns);
+  obs::ScopedPhase timer(index_rebuild_hist(), "index_rebuild");
   parent_.resize(static_cast<std::size_t>(graph_.capacity()), kNullVertex);
   std::shared_ptr<TreeIndex> next = acquire_index_slot();
   next->build(parent_, graph_.alive());
@@ -84,7 +138,7 @@ void DynamicDfs::rebuild_index() {
 }
 
 void DynamicDfs::rebase() {
-  PhaseTimer timer(phases_.rebase_ns);
+  obs::ScopedPhase timer(rebase_hist(), "rebase");
   // index_ already describes the current forest: alias it as the epoch's
   // base tree (it is immutable — rebuild_index() swaps in a new object
   // rather than mutating) and rebuild D over it. No O(n) copy.
@@ -120,9 +174,19 @@ void DynamicDfs::execute(const ReductionResult& reduction, const OracleView& vie
   Rerooter engine(*index_, view, strategy_, cost_, num_threads_,
                   engine_cutoff());
   last_stats_ = engine.run(reduction.reroots, parent_);
+  mirror_reroot_stats(last_stats_);
   for (const auto& [v, p] : reduction.direct) {
     parent_[static_cast<std::size_t>(v)] = p;
   }
+}
+
+UpdatePhaseBreakdown DynamicDfs::phase_breakdown() {
+  UpdatePhaseBreakdown b;
+  b.patch_us = patch_hist().sum();
+  b.reroot_us = reroot_hist().sum();
+  b.index_rebuild_us = index_rebuild_hist().sum();
+  b.rebase_us = rebase_hist().sum();
+  return b;
 }
 
 void DynamicDfs::insert_edge(Vertex u, Vertex v) {
@@ -133,7 +197,7 @@ void DynamicDfs::insert_edge(Vertex u, Vertex v) {
   // (u, v) in both its sorted lists and its patch lists.
   if (!back) maybe_rebase();
   {
-    PhaseTimer timer(phases_.patch_ns);
+    obs::ScopedPhase timer(patch_hist(), "patch");
     PARDFS_CHECK(graph_.add_edge(u, v));
     oracle_.note_edge_inserted(u, v);
   }
@@ -142,7 +206,7 @@ void DynamicDfs::insert_edge(Vertex u, Vertex v) {
     return;
   }
   {
-    PhaseTimer timer(phases_.reroot_ns);
+    obs::ScopedPhase timer(reroot_hist(), "reroot");
     const OracleView view(&oracle_, index_.get(), at_base());
     execute(reduce_insert_edge(*index_, u, v), view);
   }
@@ -157,7 +221,7 @@ void DynamicDfs::delete_edge(Vertex u, Vertex v) {
   const bool tree_edge = u_parent || v_parent;
   if (tree_edge) maybe_rebase();
   {
-    PhaseTimer timer(phases_.patch_ns);
+    obs::ScopedPhase timer(patch_hist(), "patch");
     oracle_.note_edge_deleted(u, v);
     PARDFS_CHECK(graph_.remove_edge(u, v));
   }
@@ -166,7 +230,7 @@ void DynamicDfs::delete_edge(Vertex u, Vertex v) {
     return;
   }
   {
-    PhaseTimer timer(phases_.reroot_ns);
+    obs::ScopedPhase timer(reroot_hist(), "reroot");
     const Vertex parent_side = u_parent ? u : v;
     const Vertex child_side = u_parent ? v : u;
     const OracleView view(&oracle_, index_.get(), at_base());
@@ -179,13 +243,13 @@ Vertex DynamicDfs::insert_vertex(std::span<const Vertex> neighbors) {
   maybe_rebase();
   Vertex v = kNullVertex;
   {
-    PhaseTimer timer(phases_.patch_ns);
+    obs::ScopedPhase timer(patch_hist(), "patch");
     v = graph_.add_vertex(neighbors);
     oracle_.note_vertex_inserted(v, neighbors);
   }
   parent_.resize(static_cast<std::size_t>(graph_.capacity()), kNullVertex);
   {
-    PhaseTimer timer(phases_.reroot_ns);
+    obs::ScopedPhase timer(reroot_hist(), "reroot");
     const OracleView view(&oracle_, index_.get(), at_base());
     execute(reduce_insert_vertex(*index_, v, neighbors), view);
   }
@@ -200,12 +264,12 @@ void DynamicDfs::delete_vertex(Vertex v) {
   std::vector<Vertex> children(index_->children(v).begin(), index_->children(v).end());
   const Vertex former_parent = parent_[static_cast<std::size_t>(v)];
   {
-    PhaseTimer timer(phases_.patch_ns);
+    obs::ScopedPhase timer(patch_hist(), "patch");
     oracle_.note_vertex_deleted(v, former_neighbors);
     graph_.remove_vertex(v);
   }
   {
-    PhaseTimer timer(phases_.reroot_ns);
+    obs::ScopedPhase timer(reroot_hist(), "reroot");
     const OracleView view(&oracle_, index_.get(), at_base());
     const ReductionResult r =
         reduce_delete_vertex(*index_, view, v, children, former_parent);
@@ -264,7 +328,7 @@ bool DynamicDfs::flush_segment(Segment& seg) {
   // the structural changes against the still-pre-batch forest.
   BatchChanges changes;
   {
-    PhaseTimer timer(phases_.patch_ns);
+    obs::ScopedPhase timer(patch_hist(), "patch");
     for (const GraphUpdate* op : seg.ops) {
       switch (op->kind) {
         case GraphUpdate::Kind::kInsertEdge: {
@@ -305,12 +369,13 @@ bool DynamicDfs::flush_segment(Segment& seg) {
   }
   // Phase 2 + 3: one combined reduction, one engine pass.
   {
-    PhaseTimer timer(phases_.reroot_ns);
+    obs::ScopedPhase timer(reroot_hist(), "reroot");
     const OracleView view(&oracle_, index_.get(), at_base());
     BatchReduction reduction = reduce_batch(*index_, view, graph_, changes);
     Rerooter engine(*index_, view, strategy_, cost_, num_threads_,
                   engine_cutoff());
     last_stats_ = engine.run_components(std::move(reduction.components), parent_);
+    mirror_reroot_stats(last_stats_);
     for (const auto& [v, p] : reduction.direct) {
       parent_[static_cast<std::size_t>(v)] = p;
     }
@@ -357,6 +422,17 @@ BatchStats DynamicDfs::apply_batch(std::span<const GraphUpdate> updates) {
   stats.segments += flush_segment(seg) ? 1 : 0;
   stats.index_rebuilds = index_rebuilds_ - index_rebuilds_before;
   stats.base_rebuilds = epoch_rebuilds_ - base_rebuilds_before;
+  // Update-mix counters: the observed structural/back-edge ratio is the
+  // signal the adaptive-backend cost model (ROADMAP) will consume.
+  static obs::Counter& structural_ctr = obs::Registry::global().counter(
+      "pardfs_updates_total", "kind=\"structural\"");
+  static obs::Counter& back_edge_ctr = obs::Registry::global().counter(
+      "pardfs_updates_total", "kind=\"back_edge\"");
+  static obs::Counter& segments_ctr =
+      obs::Registry::global().counter("pardfs_segments_total");
+  if (stats.structural != 0) structural_ctr.add(stats.structural);
+  if (stats.back_edges != 0) back_edge_ctr.add(stats.back_edges);
+  if (stats.segments != 0) segments_ctr.add(stats.segments);
   return stats;
 }
 

@@ -34,15 +34,18 @@
 
 namespace pardfs {
 
-// Cumulative wall-clock breakdown of the update path (nanoseconds), split
-// along the phases the epoch policy trades against each other. Benchmarks
-// export these as per-update counters so BENCH_update.json records where
-// each microsecond goes (EXPERIMENTS.md E13).
+// Cumulative wall-clock breakdown of the update path (microseconds), split
+// along the phases the epoch policy trades against each other. The values
+// are a read over the process-wide obs registry (`pardfs_update_phase_us`
+// histograms, DESIGN.md §11) — per-phase quantiles and the service-side
+// phases (queue_wait, publish) live there; this struct keeps the historical
+// sum accessors benches export as per-update counters (EXPERIMENTS.md E13).
+// Zero when built with PARDFS_NO_METRICS or after set_metrics_enabled(false).
 struct UpdatePhaseBreakdown {
-  std::uint64_t patch_ns = 0;          // oracle patches + graph mutation
-  std::uint64_t reroot_ns = 0;         // reduction + rerooting engine passes
-  std::uint64_t index_rebuild_ns = 0;  // O(n) current-tree index rebuilds
-  std::uint64_t rebase_ns = 0;         // epoch boundaries: D rebuild + swap
+  double patch_us = 0.0;          // oracle patches + graph mutation
+  double reroot_us = 0.0;         // reduction + rerooting engine passes
+  double index_rebuild_us = 0.0;  // O(n) current-tree index rebuilds
+  double rebase_us = 0.0;         // epoch boundaries: D rebuild + swap
 };
 
 // Outcome of one DynamicDfs::apply_batch call.
@@ -116,8 +119,11 @@ class DynamicDfs {
   }
   // Statistics of the most recent update's rerooting.
   const RerootStats& last_stats() const { return last_stats_; }
-  // Cumulative wall-clock phase breakdown since construction (E13).
-  const UpdatePhaseBreakdown& phase_breakdown() const { return phases_; }
+  // Cumulative wall-clock phase breakdown (E13): shard-summed from the
+  // registry's `pardfs_update_phase_us` histograms. Process-wide (all
+  // DynamicDfs instances share the series) and cheap enough to call inside
+  // a timed bench loop — no bucket merge or quantile math.
+  static UpdatePhaseBreakdown phase_breakdown();
 
   // ---- epoch state (tested / benchmarked) ----------------------------------
   // Full base-tree + D rebuilds so far, including the constructor's initial
@@ -178,7 +184,6 @@ class DynamicDfs {
   int num_threads_ = 0;
   std::int32_t serial_cutoff_ = -1;
   RerootStats last_stats_;
-  UpdatePhaseBreakdown phases_;
   std::size_t epoch_period_ = 1;
   std::size_t patch_budget_ = 1;
   std::size_t structural_since_rebase_ = 0;

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "core/rerooter_internal.hpp"
+#include "obs/trace.hpp"
 #include "pram/parallel.hpp"
 #include "util/check.hpp"
 
@@ -435,11 +436,15 @@ RerootStats Rerooter::run_components(std::vector<Component> active,
   std::vector<std::uint32_t> comp_batches;
   std::vector<Component> next;
   while (!active.empty()) {
+    // Tracing only (no histogram): round latencies are a wall-clock artifact
+    // of the worker team, not part of the deterministic round/batch record.
+    const obs::Span round_span("reroot_round");
     ++stats.global_rounds;
     const std::size_t k = active.size();
     emitted.assign(k, {});
     comp_batches.assign(k, 0);
     const auto step = [&](detail::EngineCtx& ctx, std::size_t i) {
+      const obs::Span step_span("engine_step");
       ++ctx.stats().components_processed;
       ctx.begin_step();
       if (serial_cutoff_ > 0 &&

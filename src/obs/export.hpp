@@ -1,0 +1,23 @@
+// Registry exporters. Both render a point-in-time snapshot of every
+// registered metric; output is deterministic (sorted by name, then labels).
+//
+//   * prometheus_text — Prometheus exposition format. Histograms emit the
+//     standard cumulative `_bucket{le=...}` / `_sum` / `_count` series
+//     (log2 bucket bounds, trailing empty buckets elided) plus companion
+//     `<name>_p50/_p90/_p99/_max` gauge families, since log-bucket
+//     quantiles are the object of interest and not every scrape pipeline
+//     runs histogram_quantile().
+//   * metrics_json — same data as one JSON object, for tooling and the
+//     bench/fuzz artifact paths.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace pardfs::obs {
+
+std::string prometheus_text(const Registry& reg = Registry::global());
+std::string metrics_json(const Registry& reg = Registry::global());
+
+}  // namespace pardfs::obs

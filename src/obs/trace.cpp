@@ -1,0 +1,164 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+namespace pardfs::obs {
+
+std::uint32_t thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+namespace {
+
+// One slot. All-relaxed atomics: a dump racing a writer may read a mixed
+// slot (rendered as a bogus span), but never tears a field or trips TSAN.
+struct Slot {
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::uint64_t> start_ns{0};
+  std::atomic<std::uint64_t> dur_ns{0};
+  std::atomic<std::uint32_t> tid{0};
+};
+
+constexpr std::size_t kRingCapacity = 4096;  // newest events win on wrap
+constexpr std::size_t kMaxRings = 64;
+
+struct Ring {
+  std::atomic<bool> leased{false};
+  std::atomic<std::uint64_t> head{0};  // total pushes; slot = head % capacity
+  std::array<Slot, kRingCapacity> slots;
+
+  void push(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns,
+            std::uint32_t tid) {
+    const std::uint64_t h = head.fetch_add(1, std::memory_order_relaxed);
+    Slot& s = slots[h % kRingCapacity];
+    s.name.store(name, std::memory_order_relaxed);
+    s.start_ns.store(start_ns, std::memory_order_relaxed);
+    s.dur_ns.store(dur_ns, std::memory_order_relaxed);
+    s.tid.store(tid, std::memory_order_relaxed);
+  }
+};
+
+std::array<Ring, kMaxRings>& rings() {
+  static auto* pool = new std::array<Ring, kMaxRings>();  // leaked on purpose
+  return *pool;
+}
+
+// Lease lifecycle: a thread grabs the first free ring on its first push and
+// hands it back at thread exit. Events outlive the lease (tid is per-event),
+// so dumps after worker joins still see everything — until a later thread
+// reuses the ring and wraps past them.
+struct Lease {
+  Ring* ring = nullptr;
+
+  Ring* get() {
+    if (ring == nullptr) {
+      auto& pool = rings();
+      for (Ring& r : pool) {
+        bool expected = false;
+        if (r.leased.compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel)) {
+          ring = &r;
+          break;
+        }
+      }
+      // Pool exhausted (> kMaxRings live threads tracing): drop events
+      // rather than allocate; `ring` stays null.
+    }
+    return ring;
+  }
+  ~Lease() {
+    if (ring != nullptr) ring->leased.store(false, std::memory_order_release);
+  }
+};
+
+Ring* this_thread_ring() {
+  thread_local Lease lease;
+  return lease.get();
+}
+
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+namespace detail {
+void trace_push(const char* name, std::uint64_t start_ns,
+                std::uint64_t dur_ns) {
+  Ring* r = this_thread_ring();
+  if (r != nullptr) r->push(name, start_ns, dur_ns, thread_id());
+}
+}  // namespace detail
+
+void set_tracing_enabled(bool on) {
+  detail::g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::string chrome_trace_json() {
+  struct Event {
+    const char* name;
+    std::uint64_t start_ns;
+    std::uint64_t dur_ns;
+    std::uint32_t tid;
+  };
+  std::vector<Event> events;
+  for (Ring& r : rings()) {
+    const std::uint64_t head = r.head.load(std::memory_order_relaxed);
+    const std::uint64_t n = std::min<std::uint64_t>(head, kRingCapacity);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const Slot& s = r.slots[i];
+      const char* name = s.name.load(std::memory_order_relaxed);
+      if (name == nullptr) continue;
+      events.push_back({name, s.start_ns.load(std::memory_order_relaxed),
+                        s.dur_ns.load(std::memory_order_relaxed),
+                        s.tid.load(std::memory_order_relaxed)});
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    return a.start_ns < b.start_ns;
+  });
+
+  std::string out = "{\"traceEvents\":[";
+  char buf[128];
+  bool first = true;
+  for (const Event& e : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":\"";
+    append_json_escaped(out, e.name);
+    // chrome://tracing wants microseconds; keep sub-µs as decimals.
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"X\",\"pid\":1,\"tid\":%" PRIu32
+                  ",\"ts\":%.3f,\"dur\":%.3f}",
+                  e.tid, static_cast<double>(e.start_ns) * 1e-3,
+                  static_cast<double>(e.dur_ns) * 1e-3);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+void trace_reset() {
+  for (Ring& r : rings()) {
+    r.head.store(0, std::memory_order_relaxed);
+    for (Slot& s : r.slots) s.name.store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace pardfs::obs

@@ -7,9 +7,51 @@
 #include <vector>
 
 #include "core/articulation.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace pardfs::service {
+namespace {
+
+// The service's ends of the six-phase writer pipeline (DESIGN.md §11): the
+// core records patch/reroot/index_rebuild/rebase under the same metric.
+obs::Histogram& queue_wait_hist() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "pardfs_update_phase_us", "phase=\"queue_wait\"", 1e-3);
+  return h;
+}
+obs::Histogram& publish_hist() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "pardfs_update_phase_us", "phase=\"publish\"", 1e-3);
+  return h;
+}
+// Submit-to-ack latency of accepted updates — the ROADMAP's p99/p50 pipeline
+// target reads from here.
+obs::Histogram& ack_latency_hist() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "pardfs_ack_latency_us", "", 1e-3);
+  return h;
+}
+// Age of the outgoing snapshot at replacement time: how stale readers could
+// observe the forest between publishes.
+obs::Histogram& staleness_hist() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "pardfs_snapshot_staleness_us", "", 1e-3);
+  return h;
+}
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::global().gauge("pardfs_queue_depth");
+  return g;
+}
+obs::Gauge& coalesce_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::global().gauge("pardfs_coalesce_size");
+  return g;
+}
+
+}  // namespace
 
 // Tracks the effect of the accepted prefix of one batch on top of the core
 // graph, so feasibility of update i sees updates 0..i-1 (clients race each
@@ -25,6 +67,13 @@ DfsService::DfsService(Graph initial, ServiceConfig config)
       dfs_(std::move(initial), config.strategy, nullptr, config.num_threads),
       queue_(config.queue_capacity),
       paused_(config.start_paused) {
+  // Eager registration of the service-side series (the publish histogram and
+  // both gauges register through their first use below / in writer_loop).
+  queue_wait_hist();
+  ack_latency_hist();
+  staleness_hist();
+  queue_depth_gauge();
+  coalesce_gauge();
   version_ = 1;
   publish(/*forest_unchanged=*/false);
   writer_ = std::thread([this] { writer_loop(); });
@@ -67,10 +116,23 @@ void DfsService::stop() {
 
 ServiceStats DfsService::stats() const {
   std::lock_guard lock(control_mu_);
-  return stats_;
+  ServiceStats out = stats_;
+  out.rejected_infeasible = out.updates_rejected;
+  out.rejected_shutdown = queue_.rejected_after_close();
+  return out;
 }
 
+std::string DfsService::metrics_text() const { return obs::prometheus_text(); }
+
+std::string DfsService::metrics_json() const { return obs::metrics_json(); }
+
 void DfsService::publish(bool forest_unchanged) {
+  obs::ScopedPhase phase(publish_hist(), "publish");
+  const std::uint64_t now = obs::now_ns();
+  if (last_publish_ns_ != 0) {
+    staleness_hist().record(now - last_publish_ns_);
+  }
+  last_publish_ns_ = now;
   const Graph& g = dfs_.graph();
   // Cut structure depends on the back edges too, so a patch-only batch that
   // shares its forest still recomputes it.
@@ -153,9 +215,18 @@ bool DfsService::feasible(const GraphUpdate& u, BatchDelta& delta) const {
 }
 
 void DfsService::writer_loop() {
+  static obs::Counter& infeasible_rejections = obs::Registry::global().counter(
+      "pardfs_acks_rejected_total", "reason=\"infeasible\"");
+  static obs::Counter& batches_ctr =
+      obs::Registry::global().counter("pardfs_batches_total");
+  static obs::Counter& applied_ctr =
+      obs::Registry::global().counter("pardfs_updates_applied_total");
+  static obs::Counter& published_ctr =
+      obs::Registry::global().counter("pardfs_snapshots_published_total");
   std::vector<PendingUpdate> pending;
   std::vector<GraphUpdate> batch;
   std::vector<UpdateTicket> accepted;
+  std::vector<std::uint64_t> accepted_enqueue_ns;
   for (;;) {
     {
       std::unique_lock lock(control_mu_);
@@ -164,16 +235,32 @@ void DfsService::writer_loop() {
     pending.clear();
     const std::size_t cap =
         config_.max_batch == 0 ? dfs_.epoch_period() : config_.max_batch;
-    if (!queue_.drain(pending, cap)) break;  // closed and fully drained
+    {
+      // The span covers the blocking wait for work — idle gaps show up as
+      // long drain spans in the trace, not as holes.
+      const obs::Span drain_span("drain");
+      if (!queue_.drain(pending, cap)) break;  // closed and fully drained
+    }
     {
       // pause() may have landed while drain() was blocked on an empty queue:
       // drained updates are held, un-applied, until resume (or stop).
       std::unique_lock lock(control_mu_);
       control_cv_.wait(lock, [&] { return !paused_ || stopped_; });
     }
+    // Queue-wait phase (submit → drain) per update, plus the two service
+    // gauges: how much is still queued and how much this drain coalesced.
+    if (obs::metrics_enabled()) {
+      const std::uint64_t drained_at = obs::now_ns();
+      for (const PendingUpdate& p : pending) {
+        if (p.enqueue_ns != 0) queue_wait_hist().record(drained_at - p.enqueue_ns);
+      }
+    }
+    queue_depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
+    coalesce_gauge().set(static_cast<std::int64_t>(pending.size()));
 
     batch.clear();
     accepted.clear();
+    accepted_enqueue_ns.clear();
     BatchDelta delta;
     delta.next_vertex = dfs_.graph().capacity();
     std::uint64_t rejected = 0;
@@ -181,28 +268,41 @@ void DfsService::writer_loop() {
       if (feasible(p.update, delta)) {
         batch.push_back(std::move(p.update));
         accepted.push_back(p.ticket);
+        accepted_enqueue_ns.push_back(p.enqueue_ns);
       } else {
         p.ticket.ack(UpdateTicket::kRejected);
         ++rejected;
+        infeasible_rejections.add();
       }
     }
 
     BatchStats batch_stats;
     if (!batch.empty()) {
-      batch_stats = dfs_.apply_batch(batch);
+      {
+        const obs::Span apply_span("apply_batch");
+        batch_stats = dfs_.apply_batch(batch);
+      }
       updates_applied_ += batch.size();
       ++version_;
       publish(/*forest_unchanged=*/batch_stats.structural == 0);
+      batches_ctr.add();
+      applied_ctr.add(batch.size());
+      published_ctr.add();
     }
     // Acks go out after the publish, so a wait()er's snapshot() already
     // reflects its update.
     std::size_t next_new_vertex = 0;
+    const std::uint64_t acked_at =
+        obs::metrics_enabled() && !accepted.empty() ? obs::now_ns() : 0;
     for (std::size_t i = 0; i < accepted.size(); ++i) {
       Vertex assigned = kNullVertex;
       if (batch[i].kind == GraphUpdate::Kind::kInsertVertex) {
         assigned = batch_stats.new_vertices[next_new_vertex++];
       }
       accepted[i].ack(version_, assigned);
+      if (acked_at != 0 && accepted_enqueue_ns[i] != 0) {
+        ack_latency_hist().record(acked_at - accepted_enqueue_ns[i]);
+      }
     }
 
     {

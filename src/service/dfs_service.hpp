@@ -24,6 +24,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "core/dynamic_dfs.hpp"
@@ -63,6 +64,12 @@ struct ServiceStats {
   std::uint64_t segments = 0;            // combined engine passes
   std::uint64_t index_rebuilds = 0;      // O(n) rebuilds across all batches
   std::uint64_t base_rebuilds = 0;       // epoch rebases across all batches
+  // kRejected acks by reason. `rejected_infeasible` == updates_rejected (the
+  // historical drain-time meaning); `rejected_shutdown` counts submits that
+  // lost the race against stop() and were pre-rejected by the queue — those
+  // never reach the writer, so they are NOT part of updates_rejected.
+  std::uint64_t rejected_infeasible = 0;
+  std::uint64_t rejected_shutdown = 0;
 };
 
 class DfsService {
@@ -102,6 +109,14 @@ class DfsService {
   ServiceStats stats() const;
   std::size_t queue_depth() const { return queue_.size(); }
 
+  // ---- observability -------------------------------------------------------
+  // Point-in-time dump of the process-wide obs registry (DESIGN.md §11):
+  // Prometheus exposition text / one JSON object. Callable from any thread
+  // while the service runs; the registry is process-global, so the page also
+  // carries the core's phase histograms and engine counters.
+  std::string metrics_text() const;
+  std::string metrics_json() const;
+
   // The underlying engine — owned by the writer thread while the service
   // runs; only safe to inspect after stop().
   const DynamicDfs& core() const { return dfs_; }
@@ -122,6 +137,7 @@ class DfsService {
   std::atomic<SnapshotPtr> snapshot_;
   std::uint64_t version_ = 0;          // writer-only after construction
   std::uint64_t updates_applied_ = 0;  // writer-only after construction
+  std::uint64_t last_publish_ns_ = 0;  // writer-only; snapshot-staleness base
 
   mutable std::mutex control_mu_;  // pause flag + stats
   std::condition_variable control_cv_;

@@ -2,9 +2,22 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace pardfs::service {
+namespace {
+
+// kRejected acks that never reached the writer: the submit-vs-stop race.
+// The drain-path twin (reason="infeasible") lives in DfsService.
+obs::Counter& shutdown_rejections() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "pardfs_acks_rejected_total", "reason=\"shutdown\"");
+  return c;
+}
+
+}  // namespace
 
 std::uint64_t UpdateTicket::wait() const {
   // Total even on a never-enqueued ticket: a client racing DfsService::stop()
@@ -30,7 +43,11 @@ void UpdateTicket::ack(std::uint64_t result, Vertex vertex) const {
 }
 
 UpdateQueue::UpdateQueue(std::size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {}
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  // Eager registration: the reason="shutdown" series shows up (at zero) on
+  // every metrics page, not only after the first lost race.
+  shutdown_rejections();
+}
 
 UpdateTicket UpdateQueue::submit(GraphUpdate update) {
   std::unique_lock lock(mu_);
@@ -40,12 +57,14 @@ UpdateTicket UpdateQueue::submit(GraphUpdate update) {
     // acknowledged as rejected: wait()/poll() on it behave exactly like a
     // feasibility rejection instead of tripping the valid() check.
     lock.unlock();
+    rejected_after_close_.fetch_add(1, std::memory_order_relaxed);
+    shutdown_rejections().add();
     UpdateTicket ticket = UpdateTicket::make();
     ticket.ack(UpdateTicket::kRejected);
     return ticket;
   }
   UpdateTicket ticket = UpdateTicket::make();
-  fifo_.push_back({std::move(update), ticket});
+  fifo_.push_back({std::move(update), ticket, obs::now_ns()});
   lock.unlock();
   not_empty_.notify_one();
   return ticket;
@@ -56,7 +75,7 @@ bool UpdateQueue::try_submit(GraphUpdate update, UpdateTicket* ticket) {
     std::lock_guard lock(mu_);
     if (closed_ || fifo_.size() >= capacity_) return false;
     *ticket = UpdateTicket::make();
-    fifo_.push_back({std::move(update), *ticket});
+    fifo_.push_back({std::move(update), *ticket, obs::now_ns()});
   }
   not_empty_.notify_one();
   return true;

@@ -74,6 +74,10 @@ class UpdateTicket {
 struct PendingUpdate {
   GraphUpdate update;
   UpdateTicket ticket;
+  // obs::now_ns() at submit time: the writer turns it into the queue_wait
+  // phase and the end-to-end ack latency (DESIGN.md §11). Zero when metrics
+  // are compiled out.
+  std::uint64_t enqueue_ns = 0;
 };
 
 class UpdateQueue {
@@ -99,6 +103,13 @@ class UpdateQueue {
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
 
+  // Submits that lost the race against close() and came back pre-rejected.
+  // These never reach the writer, so ServiceStats reads them from here
+  // (rejected_shutdown) instead of the drain path.
+  std::uint64_t rejected_after_close() const {
+    return rejected_after_close_.load(std::memory_order_relaxed);
+  }
+
  private:
   const std::size_t capacity_;
   mutable std::mutex mu_;
@@ -106,6 +117,7 @@ class UpdateQueue {
   std::condition_variable not_empty_;
   std::deque<PendingUpdate> fifo_;
   bool closed_ = false;
+  std::atomic<std::uint64_t> rejected_after_close_{0};
 };
 
 }  // namespace pardfs::service

@@ -12,6 +12,7 @@
 #include "core/dynamic_dfs.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
+#include "obs/metrics.hpp"
 #include "service/dfs_service.hpp"
 #include "service/workload.hpp"
 #include "tree/validation.hpp"
@@ -69,6 +70,32 @@ std::string replay_line(const FuzzOptions& o) {
 }
 
 namespace {
+
+// ---- registry mirrors of the run counters ----------------------------------
+// Process-global by design: a failure snapshot of these lets a replayed seed
+// (fresh process, same options) be cross-checked against the original run's
+// counts before the oracle even fires.
+obs::Counter& fuzz_batches_ctr() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("pardfs_fuzz_batches_total");
+  return c;
+}
+obs::Counter& fuzz_queries_ctr() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("pardfs_fuzz_queries_total");
+  return c;
+}
+
+std::string obs_counters_line() {
+#if defined(PARDFS_NO_METRICS)
+  return std::string();
+#else
+  return "pardfs_fuzz_batches_total=" +
+         std::to_string(fuzz_batches_ctr().value()) +
+         " pardfs_fuzz_queries_total=" +
+         std::to_string(fuzz_queries_ctr().value());
+#endif
+}
 
 // ---- brute-force reference answers (walks over the raw parent array) -------
 
@@ -473,6 +500,7 @@ struct BatchCheckContext {
                      family_name(options.family) + "/" +
                      entry_name(options.entry) + "]: " + what;
     result.replay = replay_line(options);
+    result.obs_counters = obs_counters_line();
     return false;
   }
 };
@@ -531,6 +559,7 @@ bool check_batch(BatchCheckContext ctx) {
   const Vertex cap = mirror.capacity();
   for (int q = 0; q < ctx.options.queries_per_batch; ++q) {
     ++ctx.result.queries;
+    fuzz_queries_ctr().add();
     if (eng.total() && ctx.rng.coin(0.15)) {
       // Totality probes: ids outside the graph (or dead) must answer the
       // benign defaults, never abort the server.
@@ -590,6 +619,7 @@ bool check_batch(BatchCheckContext ctx) {
   const int base_comps = count_components(mirror, kNullVertex);
   for (int q = 0; q < ctx.options.cut_checks_per_batch; ++q) {
     ++ctx.result.queries;
+    fuzz_queries_ctr().add();
     const Vertex v = random_alive(mirror, ctx.rng);
     if (v == kNullVertex) break;
     if (eng.q_articulation(v) != brute_articulation(mirror, v, base_comps)) {
@@ -667,6 +697,7 @@ FuzzResult run_fuzz(const FuzzOptions& options_in) {
     }
     result.updates += batch.size();
     ++result.batches;
+    fuzz_batches_ctr().add();
 
     if (!check_batch({options, b, stream->mirror(), *engine, harness_rng, result})) {
       return result;

@@ -71,6 +71,12 @@ struct FuzzResult {
   bool ok = true;
   std::string failure;  // first mismatch, with batch index and detail
   std::string replay;   // "pardfs_fuzz --seed=…" line reproducing the run
+  // Snapshot of the obs registry's fuzz counters at failure time
+  // ("pardfs_fuzz_batches_total=… pardfs_fuzz_queries_total=…"). Replaying
+  // the seed in a fresh process must reproduce these counts exactly, so a
+  // replay that diverges from the original run is detectable before the
+  // oracle even fires. Empty on ok runs and under PARDFS_NO_METRICS.
+  std::string obs_counters;
   std::uint64_t batches = 0;
   std::uint64_t updates = 0;
   std::uint64_t queries = 0;

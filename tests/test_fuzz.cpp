@@ -85,6 +85,18 @@ TEST(Fuzz, InjectedCorruptionIsCaughtWithReplayLine) {
     EXPECT_NE(r.replay.find(std::string("--entry=") + entry_name(entry)),
               std::string::npos)
         << r.replay;
+#if !defined(PARDFS_NO_METRICS)
+    // The failure carries the registry's fuzz counters so a replayed seed
+    // can be cross-checked against the original run's counts.
+    EXPECT_NE(r.obs_counters.find("pardfs_fuzz_batches_total="),
+              std::string::npos)
+        << r.obs_counters;
+    EXPECT_NE(r.obs_counters.find("pardfs_fuzz_queries_total="),
+              std::string::npos)
+        << r.obs_counters;
+#else
+    EXPECT_TRUE(r.obs_counters.empty());
+#endif
     // The replay line must actually reproduce the failure.
     const FuzzResult again = run_fuzz(o);
     EXPECT_EQ(again.failure, r.failure);

@@ -97,6 +97,39 @@ TEST(Service, RejectsInfeasibleUpdates) {
   EXPECT_EQ(svc.snapshot()->version(), 1u);
 }
 
+TEST(Service, StatsSplitRejectionsByReason) {
+  DfsService svc(gen::path(4));
+  // Two drain-time feasibility rejections...
+  EXPECT_EQ(svc.apply_sync(GraphUpdate::insert_edge(0, 1)),
+            UpdateTicket::kRejected);
+  EXPECT_EQ(svc.apply_sync(GraphUpdate::delete_edge(0, 3)),
+            UpdateTicket::kRejected);
+  EXPECT_EQ(svc.apply_sync(GraphUpdate::insert_edge(0, 2)), 2u);
+  svc.stop();
+  // ...and one submit that arrives after stop(). It still acks (rejected)
+  // but never reaches the writer, so it is NOT part of updates_rejected.
+  EXPECT_EQ(svc.apply_sync(GraphUpdate::insert_edge(1, 3)),
+            UpdateTicket::kRejected);
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.rejected_infeasible, 2u);
+  EXPECT_EQ(stats.rejected_infeasible, stats.updates_rejected);
+  EXPECT_EQ(stats.rejected_shutdown, 1u);
+  EXPECT_EQ(stats.updates_applied, 1u);
+}
+
+TEST(Service, MetricsPagesAreServedLive) {
+  DfsService svc(gen::path(8));
+  (void)svc.apply_sync(GraphUpdate::insert_edge(0, 7));
+  svc.stop();
+  const std::string prom = svc.metrics_text();
+  EXPECT_NE(prom.find("# TYPE pardfs_update_phase_us histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("pardfs_queue_depth"), std::string::npos);
+  const std::string json = svc.metrics_json();
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("pardfs_ack_latency_us"), std::string::npos);
+}
+
 TEST(Service, VertexInsertTicketCarriesAssignedId) {
   DfsService svc(gen::path(3));
   const UpdateTicket t = svc.submit(GraphUpdate::insert_vertex({0, 2}));

@@ -113,6 +113,11 @@ int report(const FuzzResult& r) {
   }
   std::fprintf(stderr, "FUZZ FAILURE: %s\n", r.failure.c_str());
   std::fprintf(stderr, "replay: %s\n", r.replay.c_str());
+  if (!r.obs_counters.empty()) {
+    // Registry snapshot at failure time: replaying the seed in a fresh
+    // process must land on the same counts (divergence = bad replay).
+    std::fprintf(stderr, "obs:    %s\n", r.obs_counters.c_str());
+  }
   return 1;
 }
 

@@ -1,0 +1,161 @@
+// pardfs_stat — run a workload scenario against DfsService and print (or
+// periodically re-print) the obs registry, as Prometheus exposition text or
+// JSON; optionally dump the phase trace as chrome://tracing JSON.
+//
+//   pardfs_stat [--scenario=read_heavy|insert_churn|adversarial_star|
+//                           social_mix|dynamic_map]
+//               [--n=4096] [--seed=42] [--updates=2000] [--threads=0]
+//               [--watch-ms=0]        re-print the registry every N ms while
+//                                     the workload runs (0 = once, at the end)
+//               [--format=prom|json]
+//               [--trace-out=FILE]    enable span tracing; write the chrome
+//                                     trace JSON to FILE at the end
+//               [--no-metrics]        runtime kill switch (recording off;
+//                                     the page prints zeros — the knob the
+//                                     determinism pins exercise)
+//
+// Exit code 0 on success. See EXPERIMENTS.md E16 for a sample session.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "service/dfs_service.hpp"
+#include "service/workload.hpp"
+
+namespace {
+
+using namespace pardfs;
+using namespace pardfs::service;
+
+struct Options {
+  Scenario scenario = Scenario::kReadHeavy;
+  Vertex n = 4096;
+  std::uint64_t seed = 42;
+  std::uint64_t updates = 2000;
+  int threads = 0;
+  std::uint64_t watch_ms = 0;
+  bool json = false;
+  std::string trace_out;
+  bool no_metrics = false;
+};
+
+bool parse_scenario(const char* name, Scenario* out) {
+  static constexpr Scenario kAll[] = {
+      Scenario::kReadHeavy, Scenario::kInsertChurn, Scenario::kAdversarialStar,
+      Scenario::kSocialMix, Scenario::kDynamicMap};
+  for (const Scenario s : kAll) {
+    if (std::strcmp(name, scenario_name(s)) == 0) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+[[noreturn]] void usage_error(const char* arg) {
+  std::fprintf(stderr, "pardfs_stat: bad argument '%s' (see header comment)\n",
+               arg);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    const auto value = [&](const char* prefix) -> const char* {
+      const std::size_t len = std::strlen(prefix);
+      return std::strncmp(a, prefix, len) == 0 ? a + len : nullptr;
+    };
+    if (const char* v = value("--scenario=")) {
+      if (!parse_scenario(v, &o.scenario)) usage_error(a);
+    } else if (const char* v = value("--n=")) {
+      o.n = static_cast<Vertex>(std::strtoll(v, nullptr, 10));
+    } else if (const char* v = value("--seed=")) {
+      o.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--updates=")) {
+      o.updates = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--threads=")) {
+      o.threads = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (const char* v = value("--watch-ms=")) {
+      o.watch_ms = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--format=")) {
+      if (std::strcmp(v, "json") == 0) {
+        o.json = true;
+      } else if (std::strcmp(v, "prom") != 0) {
+        usage_error(a);
+      }
+    } else if (const char* v = value("--trace-out=")) {
+      o.trace_out = v;
+    } else if (std::strcmp(a, "--no-metrics") == 0) {
+      o.no_metrics = true;
+    } else {
+      usage_error(a);
+    }
+  }
+  return o;
+}
+
+void print_registry(const DfsService& svc, bool json) {
+  const std::string page = json ? svc.metrics_json() : svc.metrics_text();
+  std::fwrite(page.data(), 1, page.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  if (o.no_metrics) obs::set_metrics_enabled(false);
+  if (!o.trace_out.empty()) obs::set_tracing_enabled(true);
+
+  const WorkloadSpec spec{o.scenario, o.n, o.seed};
+  ServiceConfig config;
+  config.num_threads = o.threads;
+  config.serve_cuts = o.scenario == Scenario::kDynamicMap;
+  DfsService svc(make_initial_graph(spec), config);
+
+  // One producer streams the scenario; the main thread is the watcher.
+  std::thread producer([&] {
+    WorkloadDriver driver(spec);
+    for (std::uint64_t i = 0; i < o.updates; ++i) {
+      (void)svc.apply_sync(driver.next());
+    }
+  });
+
+  if (o.watch_ms > 0) {
+    while (true) {
+      print_registry(svc, o.json);
+      std::fputs(o.json ? "\n" : "\n---\n", stdout);
+      if (producer.joinable() &&
+          svc.stats().updates_applied + svc.stats().updates_rejected >=
+              o.updates) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(o.watch_ms));
+    }
+  }
+  producer.join();
+  svc.stop();
+
+  print_registry(svc, o.json);
+  if (!o.trace_out.empty()) {
+    std::ofstream out(o.trace_out);
+    if (!out) {
+      std::fprintf(stderr, "pardfs_stat: cannot write %s\n",
+                   o.trace_out.c_str());
+      return 1;
+    }
+    out << obs::chrome_trace_json();
+    std::fprintf(stderr, "trace written to %s (load at chrome://tracing)\n",
+                 o.trace_out.c_str());
+  }
+  return 0;
+}
