@@ -241,4 +241,158 @@ void BM_ServiceWriterThroughput(benchmark::State& state) {
 BENCHMARK(BM_ServiceWriterThroughput)->Arg(1)->Arg(4)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// ---- sharded serving (component-partitioned router) ------------------------
+
+// A many-component initial graph — the regime sharding partitions. Blocks of
+// `block` vertices, each a ring plus random chords, no inter-block edges, so
+// the router spreads whole blocks across shards round-robin.
+Graph sharded_bench_graph(Vertex n, Vertex block) {
+  Graph g(n);
+  Rng rng(4242);
+  for (Vertex base = 0; base + block <= n; base += block) {
+    for (Vertex i = 0; i < block; ++i) {
+      g.add_edge(base + i, base + (i + 1) % block);
+    }
+    for (Vertex c = 0; c < block / 8; ++c) {
+      const Vertex u = base + static_cast<Vertex>(rng.below(block));
+      const Vertex v = base + static_cast<Vertex>(rng.below(block));
+      if (u != v) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+// An intra-block chord flip: endpoints stay in one component, so ownership
+// never migrates and the churn matches the unsharded producer's shape.
+GraphUpdate intra_block_flip(Rng& rng, Vertex n, Vertex block) {
+  const Vertex base =
+      static_cast<Vertex>(rng.below(static_cast<std::uint64_t>(n / block))) * block;
+  const Vertex u = base + static_cast<Vertex>(rng.below(block));
+  Vertex v = base + static_cast<Vertex>(rng.below(block));
+  if (u == v) v = base + (v + 1) % block;
+  return rng.coin(0.5) ? GraphUpdate::insert_edge(u, v)
+                       : GraphUpdate::delete_edge(u, v);
+}
+
+// Read throughput vs shard count at a fixed reader pool: Args = (shards,
+// readers). One background producer churns intra-block flips through the
+// router the whole time. bench/check_shard_scaling.py pins the 4-shard /
+// 1-shard items_per_second ratio.
+void BM_ShardedReadThroughput(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const int readers = static_cast<int>(state.range(1));
+  const Vertex n = 1 << 16;
+  constexpr Vertex kBlock = 256;
+  ServiceConfig config;
+  config.num_shards = shards;
+  ShardRouter router(sharded_bench_graph(n, kBlock), config);
+  std::atomic<bool> stop_producer{false};
+  std::thread producer([&] {
+    Rng rng(977);
+    while (!stop_producer.load(std::memory_order_relaxed)) {
+      (void)router.apply_sync(intra_block_flip(rng, n, kBlock));
+    }
+  });
+
+  constexpr std::uint64_t kQueriesPerReader = 1 << 14;
+  for (auto _ : state) {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(readers));
+    for (int r = 0; r < readers; ++r) {
+      pool.emplace_back([&, r] {
+        Rng rng(1000 + static_cast<std::uint64_t>(r));
+        std::uint64_t sink = 0;
+        for (std::uint64_t done = 0; done < kQueriesPerReader; done += 64) {
+          sink += run_read_session(router, rng, 64, nullptr);
+        }
+        benchmark::DoNotOptimize(sink);
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+  stop_producer.store(true);
+  producer.join();
+  router.stop();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          readers * kQueriesPerReader);
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["readers"] = static_cast<double>(readers);
+  state.counters["migrations"] =
+      static_cast<double>(router.stats().shard_migrations);
+}
+BENCHMARK(BM_ShardedReadThroughput)
+    ->Args({1, 4})->Args({4, 4})->Args({16, 4})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// The acceptance scenario: a 2^20-vertex many-component graph served by 16
+// shards under 1e5 simulated client sessions — each session a short read
+// burst plus the read-heavy mix's update probability, acknowledged end to
+// end. Per-shard QPS and ack-latency percentiles are exported as counters
+// (s<i>_qps / s<i>_ack_p99_us), so they land in BENCH_service.json.
+void BM_ShardedClientSessions(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const auto sessions = static_cast<std::uint64_t>(state.range(1));
+  const Vertex n = 1 << 20;
+  constexpr Vertex kBlock = 256;
+  ServiceConfig config;
+  config.num_shards = shards;
+  config.queue_capacity = 1 << 12;
+  ShardRouter router(sharded_bench_graph(n, kBlock), config);
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int clients = static_cast<int>(std::min(16u, std::max(4u, hw)));
+  obs::Registry::global().reset();  // scope the ack histograms to this run
+  std::vector<std::vector<std::uint64_t>> per_client_shard(
+      static_cast<std::size_t>(clients),
+      std::vector<std::uint64_t>(shards, 0));
+  double elapsed_s = 0.0;
+  for (auto _ : state) {
+    const std::uint64_t t0 = obs::now_ns();
+    std::atomic<std::uint64_t> next_session{0};
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      pool.emplace_back([&, c] {
+        Rng rng(7000 + static_cast<std::uint64_t>(c));
+        auto& mine = per_client_shard[static_cast<std::size_t>(c)];
+        while (next_session.fetch_add(1, std::memory_order_relaxed) < sessions) {
+          benchmark::DoNotOptimize(run_read_session(router, rng, 8, &mine));
+          if (rng.coin(0.05)) {
+            UpdateTicket t;
+            if (router.try_submit(intra_block_flip(rng, n, kBlock), &t)) {
+              (void)t.wait();
+            }
+          }
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+    elapsed_s += static_cast<double>(obs::now_ns() - t0) * 1e-9;
+  }
+  router.stop();
+  std::vector<std::uint64_t> shard_queries(shards, 0);
+  for (const auto& mine : per_client_shard) {
+    for (std::size_t s = 0; s < shards; ++s) shard_queries[s] += mine[s];
+  }
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::string tag = "s" + std::to_string(s);
+    state.counters[tag + "_qps"] =
+        elapsed_s > 0.0 ? static_cast<double>(shard_queries[s]) / elapsed_s : 0.0;
+    const std::string label = "shard=\"" + std::to_string(s) + "\"";
+    const obs::HistogramSnapshot ack =
+        obs::Registry::global().histogram("pardfs_ack_latency_us", label, 1e-3)
+            .snapshot();
+    state.counters[tag + "_ack_p50_us"] = ack.p50;
+    state.counters[tag + "_ack_p99_us"] = ack.p99;
+  }
+  const ServiceStats stats = router.stats();
+  state.counters["sessions"] = static_cast<double>(sessions);
+  state.counters["clients"] = static_cast<double>(clients);
+  state.counters["applied"] = static_cast<double>(stats.updates_applied);
+  state.counters["migrations"] = static_cast<double>(stats.shard_migrations);
+  state.SetItemsProcessed(static_cast<std::int64_t>(sessions));
+}
+BENCHMARK(BM_ShardedClientSessions)
+    ->Args({16, 100000})->Iterations(1)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 }  // namespace

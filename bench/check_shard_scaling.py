@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Bench-smoke scaling guard: fail if sharding stops buying read throughput.
+
+Reads a google-benchmark JSON file (BENCH_service.json) and asserts that
+BM_ShardedReadThroughput at --shards shards serves at least --min-ratio times
+the read QPS (items_per_second) of the 1-shard run with the same reader pool.
+The component-partitioned router's whole point is that readers resolving
+disjoint shards share nothing; this guard keeps a directory or snapshot
+regression from silently serializing them again.
+
+On machines with fewer than --min-cpus logical CPUs the readers time-share
+cores and the ratio is noise, so the check prints a warning and skips
+(exit 0) — same convention as check_probe_ratio.py's AVX2 probe.
+
+Usage: check_shard_scaling.py BENCH_service.json [--shards 4] [--readers 4]
+       [--min-ratio 1.5] [--min-cpus 4]
+"""
+import argparse
+import json
+import os
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("json_path")
+    ap.add_argument("--shards", type=int, default=4)
+    ap.add_argument("--readers", type=int, default=4)
+    ap.add_argument("--min-ratio", type=float, default=1.5)
+    ap.add_argument("--min-cpus", type=int, default=4)
+    args = ap.parse_args()
+
+    cpus = os.cpu_count() or 1
+    if cpus < args.min_cpus:
+        print(
+            f"check_shard_scaling: SKIP — only {cpus} logical CPUs "
+            f"(< {args.min_cpus}); reader scaling would be time-sliced noise"
+        )
+        return 0
+
+    with open(args.json_path) as f:
+        data = json.load(f)
+
+    def qps(shards):
+        name = f"BM_ShardedReadThroughput/{shards}/{args.readers}/real_time"
+        for b in data.get("benchmarks", []):
+            if b.get("run_type") == "aggregate":
+                continue
+            if b["name"] == name:
+                return b.get("items_per_second")
+        return None
+
+    base = qps(1)
+    sharded = qps(args.shards)
+    if base is None or sharded is None:
+        print(
+            f"check_shard_scaling: missing BM_ShardedReadThroughput/1/"
+            f"{args.readers} or /{args.shards}/{args.readers} in "
+            f"{args.json_path}",
+            file=sys.stderr,
+        )
+        return 2
+
+    ratio = sharded / base
+    print(
+        f"check_shard_scaling: {args.shards}-shard {sharded / 1e6:.2f}M qps / "
+        f"1-shard {base / 1e6:.2f}M qps = {ratio:.2f}x "
+        f"(required >= {args.min_ratio:.2f}x, {args.readers} readers)"
+    )
+    if ratio < args.min_ratio:
+        print(
+            "check_shard_scaling: FAIL — sharded reads no longer scale "
+            f"(ratio {ratio:.2f} < {args.min_ratio:.2f})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,10 +37,13 @@ cmake --build "$BUILD" -j "$(nproc)"
 
 if [[ "$SMOKE" == 1 ]]; then
   # Quick fuzz soak: 4 seeds x {random, power_law, grid, dynamic_map} x
-  # {core, service}, differential-checked per batch. Then the self-test: an
-  # injected corruption must make the harness fail (exit 1), or the oracle
-  # has gone blind.
+  # {core, service, sharded}, differential-checked per batch (the sharded
+  # entry byte-compares an S-shard router against a 1-shard reference).
+  # Then the self-test: an injected corruption must make the harness fail
+  # (exit 1), or the oracle has gone blind.
   "$BUILD/tools/pardfs_fuzz" --soak=4 --batches=8
+  # One deeper sharded leg at 16 shards (the acceptance shard count).
+  "$BUILD/tools/pardfs_fuzz" --entry=sharded --shards=16 --batches=12
   # One leg with SIMD dispatch pinned to the scalar reference: the engine
   # must be byte-identical either way, so this catches any divergence the
   # unit differentials missed.
@@ -86,6 +89,10 @@ python3 "$ROOT/bench/check_obs_overhead.py" \
 PARDFS_OBS_DUMP_DIR="$ROOT" "$BUILD/bench/bench_service" \
   --benchmark_min_time="$MIN_TIME" \
   --benchmark_out_format=json --benchmark_out="$ROOT/BENCH_service.json"
+# Scaling guard: 4 shards must serve >= 1.5x the 1-shard read QPS with 4
+# readers (skips with a warning on < 4-CPU machines).
+python3 "$ROOT/bench/check_shard_scaling.py" "$ROOT/BENCH_service.json" \
+  --shards 4 --readers 4 --min-ratio 1.5
 "$BUILD/bench/bench_parallel" \
   --benchmark_min_time="$MIN_TIME" \
   --benchmark_out_format=json --benchmark_out="$ROOT/BENCH_parallel.json"

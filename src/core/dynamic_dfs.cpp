@@ -1,5 +1,6 @@
 #include "core/dynamic_dfs.hpp"
 
+#include <atomic>
 #include <utility>
 
 #include "baseline/static_dfs.hpp"
@@ -78,6 +79,10 @@ void mirror_reroot_stats(const RerootStats& s) {
   if (s.serial_finishes != 0) serial_finishes.add(s.serial_finishes);
 }
 
+// Set once a shard-labeled engine exists in the process: phase_breakdown()
+// then widens its scan from the four unlabeled series to the whole family.
+std::atomic<bool> g_sharded_phase_series{false};
+
 // Retired indices kept for buffer reuse: current + epoch base + one in
 // flight. Beyond that (snapshots pinning history) fresh allocations take
 // over.
@@ -87,16 +92,32 @@ constexpr std::size_t kIndexPoolCap = 4;
 
 DynamicDfs::DynamicDfs(Graph graph, RerootStrategy strategy,
                        pram::CostModel* cost, int num_threads,
-                       std::int32_t serial_cutoff)
+                       std::int32_t serial_cutoff, std::string obs_shard)
     : graph_(std::move(graph)),
       strategy_(strategy),
       cost_(cost),
       num_threads_(num_threads),
       serial_cutoff_(serial_cutoff) {
-  // Eager registration: all four core phase series appear (at zero) on a
-  // metrics page even before the first update touches them.
-  patch_hist();
-  reroot_hist();
+  // Eager registration: all four phase series of this instance appear (at
+  // zero) on a metrics page even before the first update touches them.
+  if (obs_shard.empty()) {
+    patch_hist_ = &patch_hist();
+    reroot_hist_ = &reroot_hist();
+    index_rebuild_hist_ = &index_rebuild_hist();
+    rebase_hist_ = &rebase_hist();
+  } else {
+    obs::Registry& reg = obs::Registry::global();
+    const std::string shard = ",shard=\"" + obs_shard + "\"";
+    patch_hist_ = &reg.histogram("pardfs_update_phase_us",
+                                 "phase=\"patch\"" + shard, 1e-3);
+    reroot_hist_ = &reg.histogram("pardfs_update_phase_us",
+                                  "phase=\"reroot\"" + shard, 1e-3);
+    index_rebuild_hist_ = &reg.histogram(
+        "pardfs_update_phase_us", "phase=\"index_rebuild\"" + shard, 1e-3);
+    rebase_hist_ = &reg.histogram("pardfs_update_phase_us",
+                                  "phase=\"rebase\"" + shard, 1e-3);
+    g_sharded_phase_series.store(true, std::memory_order_relaxed);
+  }
   parent_ = static_dfs(graph_);
   rebuild_index();
   rebase();
@@ -122,7 +143,7 @@ std::shared_ptr<TreeIndex> DynamicDfs::acquire_index_slot() {
 }
 
 void DynamicDfs::rebuild_index() {
-  obs::ScopedPhase timer(index_rebuild_hist(), "index_rebuild");
+  obs::ScopedPhase timer(*index_rebuild_hist_, "index_rebuild");
   parent_.resize(static_cast<std::size_t>(graph_.capacity()), kNullVertex);
   std::shared_ptr<TreeIndex> next = acquire_index_slot();
   next->build(parent_, graph_.alive());
@@ -138,7 +159,7 @@ void DynamicDfs::rebuild_index() {
 }
 
 void DynamicDfs::rebase() {
-  obs::ScopedPhase timer(rebase_hist(), "rebase");
+  obs::ScopedPhase timer(*rebase_hist_, "rebase");
   // index_ already describes the current forest: alias it as the epoch's
   // base tree (it is immutable — rebuild_index() swaps in a new object
   // rather than mutating) and rebuild D over it. No O(n) copy.
@@ -172,7 +193,7 @@ void DynamicDfs::execute(const ReductionResult& reduction, const OracleView& vie
   // subtrees, direct assignments patch single slots. The view is shared
   // with the preceding reduction so its decompose memo spans the update.
   Rerooter engine(*index_, view, strategy_, cost_, num_threads_,
-                  engine_cutoff());
+                  engine_cutoff(), &graph_);
   last_stats_ = engine.run(reduction.reroots, parent_);
   mirror_reroot_stats(last_stats_);
   for (const auto& [v, p] : reduction.direct) {
@@ -186,7 +207,76 @@ UpdatePhaseBreakdown DynamicDfs::phase_breakdown() {
   b.reroot_us = reroot_hist().sum();
   b.index_rebuild_us = index_rebuild_hist().sum();
   b.rebase_us = rebase_hist().sum();
+  if (g_sharded_phase_series.load(std::memory_order_relaxed)) {
+    // Shard-labeled engines record into their own series of the same family;
+    // fold them in so the breakdown stays a process-wide total. The service
+    // phases (queue_wait, publish) share the metric name but not these phase
+    // labels, so the prefix match skips them — exactly as before.
+    for (const obs::Histogram* h : obs::Registry::global().histograms()) {
+      if (h->name() != "pardfs_update_phase_us") continue;
+      const std::string& l = h->labels();
+      if (l.find(",shard=\"") == std::string::npos) continue;  // counted above
+      if (l.rfind("phase=\"patch\"", 0) == 0) {
+        b.patch_us += h->sum();
+      } else if (l.rfind("phase=\"reroot\"", 0) == 0) {
+        b.reroot_us += h->sum();
+      } else if (l.rfind("phase=\"index_rebuild\"", 0) == 0) {
+        b.index_rebuild_us += h->sum();
+      } else if (l.rfind("phase=\"rebase\"", 0) == 0) {
+        b.rebase_us += h->sum();
+      }
+    }
+  }
   return b;
+}
+
+void DynamicDfs::pad_capacity(Vertex capacity) {
+  if (capacity <= graph_.capacity()) return;
+  graph_.pad_to(capacity);
+  // Dead ids carry no adjacency and are never queried, so D needs no
+  // patching; the index rebuild widens its arrays over the new id space so
+  // range checks stay valid.
+  rebuild_index();
+}
+
+DynamicDfs::ComponentTransfer DynamicDfs::extract_component(Vertex v) {
+  PARDFS_CHECK_MSG(graph_.is_alive(v), "extract_component: vertex not alive");
+  ComponentTransfer t;
+  // The DFS forest's trees are exactly the connected components, so the
+  // component of v is everything sharing its root.
+  const Vertex root = index_->root_of(v);
+  for (Vertex w = 0; w < graph_.capacity(); ++w) {
+    if (graph_.is_alive(w) && index_->root_of(w) == root) {
+      t.vertices.push_back(w);
+    }
+  }
+  t.parent.reserve(t.vertices.size());
+  for (const Vertex w : t.vertices) {
+    t.parent.push_back(parent_[static_cast<std::size_t>(w)]);
+  }
+  t.rows = graph_.extract_component(t.vertices);
+  for (const Vertex w : t.vertices) {
+    parent_[static_cast<std::size_t>(w)] = kNullVertex;
+  }
+  // The component is gone: rebuild the current index over the survivors and
+  // open a fresh epoch (D must not retain sorted lists or patches that
+  // reference the extracted rows).
+  rebuild_index();
+  rebase();
+  return t;
+}
+
+void DynamicDfs::adopt_component(ComponentTransfer t) {
+  if (!t.vertices.empty()) {
+    graph_.pad_to(t.vertices.back() + 1);  // ids are ascending
+  }
+  graph_.adopt_component(t.vertices, std::move(t.rows));
+  parent_.resize(static_cast<std::size_t>(graph_.capacity()), kNullVertex);
+  for (std::size_t i = 0; i < t.vertices.size(); ++i) {
+    parent_[static_cast<std::size_t>(t.vertices[i])] = t.parent[i];
+  }
+  rebuild_index();
+  rebase();
 }
 
 void DynamicDfs::insert_edge(Vertex u, Vertex v) {
@@ -197,7 +287,7 @@ void DynamicDfs::insert_edge(Vertex u, Vertex v) {
   // (u, v) in both its sorted lists and its patch lists.
   if (!back) maybe_rebase();
   {
-    obs::ScopedPhase timer(patch_hist(), "patch");
+    obs::ScopedPhase timer(*patch_hist_, "patch");
     PARDFS_CHECK(graph_.add_edge(u, v));
     oracle_.note_edge_inserted(u, v);
   }
@@ -206,7 +296,7 @@ void DynamicDfs::insert_edge(Vertex u, Vertex v) {
     return;
   }
   {
-    obs::ScopedPhase timer(reroot_hist(), "reroot");
+    obs::ScopedPhase timer(*reroot_hist_, "reroot");
     const OracleView view(&oracle_, index_.get(), at_base());
     execute(reduce_insert_edge(*index_, u, v), view);
   }
@@ -221,7 +311,7 @@ void DynamicDfs::delete_edge(Vertex u, Vertex v) {
   const bool tree_edge = u_parent || v_parent;
   if (tree_edge) maybe_rebase();
   {
-    obs::ScopedPhase timer(patch_hist(), "patch");
+    obs::ScopedPhase timer(*patch_hist_, "patch");
     oracle_.note_edge_deleted(u, v);
     PARDFS_CHECK(graph_.remove_edge(u, v));
   }
@@ -230,7 +320,7 @@ void DynamicDfs::delete_edge(Vertex u, Vertex v) {
     return;
   }
   {
-    obs::ScopedPhase timer(reroot_hist(), "reroot");
+    obs::ScopedPhase timer(*reroot_hist_, "reroot");
     const Vertex parent_side = u_parent ? u : v;
     const Vertex child_side = u_parent ? v : u;
     const OracleView view(&oracle_, index_.get(), at_base());
@@ -243,13 +333,13 @@ Vertex DynamicDfs::insert_vertex(std::span<const Vertex> neighbors) {
   maybe_rebase();
   Vertex v = kNullVertex;
   {
-    obs::ScopedPhase timer(patch_hist(), "patch");
+    obs::ScopedPhase timer(*patch_hist_, "patch");
     v = graph_.add_vertex(neighbors);
     oracle_.note_vertex_inserted(v, neighbors);
   }
   parent_.resize(static_cast<std::size_t>(graph_.capacity()), kNullVertex);
   {
-    obs::ScopedPhase timer(reroot_hist(), "reroot");
+    obs::ScopedPhase timer(*reroot_hist_, "reroot");
     const OracleView view(&oracle_, index_.get(), at_base());
     execute(reduce_insert_vertex(*index_, v, neighbors), view);
   }
@@ -264,12 +354,12 @@ void DynamicDfs::delete_vertex(Vertex v) {
   std::vector<Vertex> children(index_->children(v).begin(), index_->children(v).end());
   const Vertex former_parent = parent_[static_cast<std::size_t>(v)];
   {
-    obs::ScopedPhase timer(patch_hist(), "patch");
+    obs::ScopedPhase timer(*patch_hist_, "patch");
     oracle_.note_vertex_deleted(v, former_neighbors);
     graph_.remove_vertex(v);
   }
   {
-    obs::ScopedPhase timer(reroot_hist(), "reroot");
+    obs::ScopedPhase timer(*reroot_hist_, "reroot");
     const OracleView view(&oracle_, index_.get(), at_base());
     const ReductionResult r =
         reduce_delete_vertex(*index_, view, v, children, former_parent);
@@ -328,7 +418,7 @@ bool DynamicDfs::flush_segment(Segment& seg) {
   // the structural changes against the still-pre-batch forest.
   BatchChanges changes;
   {
-    obs::ScopedPhase timer(patch_hist(), "patch");
+    obs::ScopedPhase timer(*patch_hist_, "patch");
     for (const GraphUpdate* op : seg.ops) {
       switch (op->kind) {
         case GraphUpdate::Kind::kInsertEdge: {
@@ -369,11 +459,11 @@ bool DynamicDfs::flush_segment(Segment& seg) {
   }
   // Phase 2 + 3: one combined reduction, one engine pass.
   {
-    obs::ScopedPhase timer(reroot_hist(), "reroot");
+    obs::ScopedPhase timer(*reroot_hist_, "reroot");
     const OracleView view(&oracle_, index_.get(), at_base());
     BatchReduction reduction = reduce_batch(*index_, view, graph_, changes);
     Rerooter engine(*index_, view, strategy_, cost_, num_threads_,
-                  engine_cutoff());
+                  engine_cutoff(), &graph_);
     last_stats_ = engine.run_components(std::move(reduction.components), parent_);
     mirror_reroot_stats(last_stats_);
     for (const auto& [v, p] : reduction.direct) {

@@ -21,6 +21,7 @@
 
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/adjacency_oracle.hpp"
@@ -33,6 +34,10 @@
 #include "tree/tree_index.hpp"
 
 namespace pardfs {
+
+namespace obs {
+class Histogram;
+}
 
 // Cumulative wall-clock breakdown of the update path (microseconds), split
 // along the phases the epoch policy trades against each other. The values
@@ -70,10 +75,14 @@ class DynamicDfs {
   // components (see Rerooter): -1 = Rerooter::default_serial_cutoff, 0 = off
   // (pure per-round query machinery; the CONGEST simulation and cost-model
   // tests need the paper's round structure unchanged).
+  // `obs_shard` tags this instance's `pardfs_update_phase_us` series with a
+  // shard="<obs_shard>" label (service/shard_router runs one engine per
+  // shard); empty keeps the process-wide unlabeled series.
   explicit DynamicDfs(Graph graph,
                       RerootStrategy strategy = RerootStrategy::kPaper,
                       pram::CostModel* cost = nullptr, int num_threads = 0,
-                      std::int32_t serial_cutoff = -1);
+                      std::int32_t serial_cutoff = -1,
+                      std::string obs_shard = {});
 
   // Movable: the base index is held by shared_ptr, so its address — and the
   // oracle's pointer to it — survives the move untouched. Copying would
@@ -102,6 +111,31 @@ class DynamicDfs {
   // sequentially feasible, exactly as if applied one by one through apply().
   BatchStats apply_batch(std::span<const GraphUpdate> updates);
 
+  // ---- sharding support (service/shard_router) -----------------------------
+  // A whole connected component lifted out of one engine, ready to be spliced
+  // into another. Global vertex ids with adjacency and tree rows verbatim, so
+  // the receiving engine continues the exact forest a single-engine history
+  // would have produced (DESIGN.md §12).
+  struct ComponentTransfer {
+    std::vector<Vertex> vertices;           // ascending ids
+    std::vector<std::vector<Vertex>> rows;  // adjacency, parallel to vertices
+    std::vector<Vertex> parent;             // tree rows, parallel to vertices
+  };
+
+  // Extends the id space with dead vertices so capacity() >= `capacity` (the
+  // next insert_vertex then assigns that id). Sharded engines use this to
+  // keep ids globally unique across engines. O(n): one index rebuild; the
+  // oracle needs nothing (dead ids have no adjacency and are never queried).
+  void pad_capacity(Vertex capacity);
+  // Removes v's connected component (== the tree rooted at root_of(v)) and
+  // returns it for adoption by another engine. O(n + m log n): an index
+  // rebuild plus an epoch rebase over the shrunken graph.
+  ComponentTransfer extract_component(Vertex v);
+  // Splices a component extracted from another engine, padding the id space
+  // as needed. The transferred ids must be dead here. Same cost profile as
+  // extract_component.
+  void adopt_component(ComponentTransfer t);
+
   // ---- observers ---------------------------------------------------------
   const Graph& graph() const { return graph_; }
   std::span<const Vertex> parent() const { return parent_; }
@@ -119,10 +153,12 @@ class DynamicDfs {
   }
   // Statistics of the most recent update's rerooting.
   const RerootStats& last_stats() const { return last_stats_; }
-  // Cumulative wall-clock phase breakdown (E13): shard-summed from the
-  // registry's `pardfs_update_phase_us` histograms. Process-wide (all
-  // DynamicDfs instances share the series) and cheap enough to call inside
-  // a timed bench loop — no bucket merge or quantile math.
+  // Cumulative wall-clock phase breakdown (E13): summed across the whole
+  // `pardfs_update_phase_us` family — the unlabeled series plus any
+  // shard-labeled ones — so the totals stay process-wide no matter how many
+  // engines record. Cheap enough to call inside a timed bench loop: plain
+  // shard sums, and the registry scan for labeled series only happens once a
+  // sharded engine exists in the process.
   static UpdatePhaseBreakdown phase_breakdown();
 
   // ---- epoch state (tested / benchmarked) ----------------------------------
@@ -179,6 +215,13 @@ class DynamicDfs {
   std::vector<std::shared_ptr<TreeIndex>> index_pool_;
   mutable bool index_escaped_ = false;  // current index_ was handed out
   AdjacencyOracle oracle_;
+  // Phase-histogram series this instance records into: the process-wide
+  // unlabeled series by default, or shard-labeled ones when constructed with
+  // obs_shard. Registry references are stable for the process lifetime.
+  obs::Histogram* patch_hist_ = nullptr;
+  obs::Histogram* reroot_hist_ = nullptr;
+  obs::Histogram* index_rebuild_hist_ = nullptr;
+  obs::Histogram* rebase_hist_ = nullptr;
   RerootStrategy strategy_;
   pram::CostModel* cost_;
   int num_threads_ = 0;

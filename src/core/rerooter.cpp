@@ -117,8 +117,11 @@ std::int32_t component_size(const TreeIndex& cur, const Component& comp) {
 // lead to T* ancestors of the entry), the oracle's patched adjacency IS the
 // current graph's, and the neighbor order is fixed — so the result is
 // deterministic and thread-count independent. No query batches are issued.
+// With `graph`, neighbors enumerate in adjacency-row order — a pure function
+// of the component's update history, identical across engines with different
+// rebase histories (see the cutoff comment in rerooter.hpp).
 void serial_finish(detail::EngineCtx& ctx, const Component& comp,
-                   std::span<Vertex> parent_out) {
+                   std::span<Vertex> parent_out, const Graph* graph) {
   const TreeIndex& cur = ctx.cur();
   const AdjacencyOracle& oracle = ctx.view().oracle();
   // Membership marks: the DFS must not escape the component.
@@ -152,21 +155,34 @@ void serial_finish(detail::EngineCtx& ctx, const Component& comp,
     auto& frame = stack.back();
     const Vertex v = frame.v;
     Vertex child = kNullVertex;
-    const auto base = oracle.base_neighbor_list(v);
-    while (frame.base_i < base.size()) {
-      const Vertex z = base[frame.base_i++];
-      if (z < cap && ctx.marked(z) && !ctx.visited(z) && oracle.edge_alive(v, z)) {
-        child = z;
-        break;
+    if (graph != nullptr) {
+      // Row entries are the live current edges by construction — no
+      // edge_alive filter needed, only the index-capacity guard.
+      const auto row = graph->neighbors(v);
+      while (frame.base_i < row.size()) {
+        const Vertex z = row[frame.base_i++];
+        if (z < cap && ctx.marked(z) && !ctx.visited(z)) {
+          child = z;
+          break;
+        }
       }
-    }
-    if (child == kNullVertex) {
-      const auto extras = oracle.extra_neighbor_list(v);
-      while (frame.extra_i < extras.size()) {
-        const Vertex z = extras[frame.extra_i++];
+    } else {
+      const auto base = oracle.base_neighbor_list(v);
+      while (frame.base_i < base.size()) {
+        const Vertex z = base[frame.base_i++];
         if (z < cap && ctx.marked(z) && !ctx.visited(z) && oracle.edge_alive(v, z)) {
           child = z;
           break;
+        }
+      }
+      if (child == kNullVertex) {
+        const auto extras = oracle.extra_neighbor_list(v);
+        while (frame.extra_i < extras.size()) {
+          const Vertex z = extras[frame.extra_i++];
+          if (z < cap && ctx.marked(z) && !ctx.visited(z) && oracle.edge_alive(v, z)) {
+            child = z;
+            break;
+          }
         }
       }
     }
@@ -367,13 +383,15 @@ void finish_traversal(detail::EngineCtx& ctx, const Component& comp,
 
 Rerooter::Rerooter(const TreeIndex& current, const OracleView& view,
                    RerootStrategy strategy, pram::CostModel* cost,
-                   int num_threads, std::int32_t serial_cutoff)
+                   int num_threads, std::int32_t serial_cutoff,
+                   const Graph* graph)
     : cur_(current),
       view_(view),
       strategy_(strategy),
       cost_(cost),
       num_threads_(num_threads),
-      serial_cutoff_(serial_cutoff) {}
+      serial_cutoff_(serial_cutoff),
+      graph_(graph) {}
 
 std::int32_t Rerooter::default_serial_cutoff(Vertex capacity) {
   const std::uint64_t n = static_cast<std::uint64_t>(capacity);
@@ -449,7 +467,7 @@ RerootStats Rerooter::run_components(std::vector<Component> active,
       ctx.begin_step();
       if (serial_cutoff_ > 0 &&
           detail::component_size(cur_, active[i]) <= serial_cutoff_) {
-        detail::serial_finish(ctx, active[i], parent_out);
+        detail::serial_finish(ctx, active[i], parent_out, graph_);
         comp_batches[i] = 0;
         return;
       }

@@ -91,14 +91,19 @@ class Rerooter {
   // the same O(polylog) depth budget without any further query rounds, and
   // serially it skips the entire per-round query machinery. Any DFS of the
   // component rooted at its entry is a valid completion (the components
-  // property, Lemma 1: all external edges lead to ancestors of the entry),
-  // and the neighbor enumeration order is fixed, so results stay
-  // deterministic at every thread count. The update wrappers pass
-  // default_serial_cutoff(); raw engine users default to the pure paper
-  // machinery.
+  // property, Lemma 1: all external edges lead to ancestors of the entry).
+  // Neighbor enumeration order: the current graph's adjacency rows when
+  // `graph` is supplied — a pure function of the component's update history,
+  // so two engines holding the same component produce the same completion
+  // even with different epoch/rebase histories (what makes sharded serving
+  // byte-identical to unsharded; see service/shard_router.hpp). Without a
+  // graph it falls back to the oracle's base+patch order, which is fixed
+  // per engine (thread-count independent) but differs across rebase
+  // histories. The update wrappers pass default_serial_cutoff(); raw engine
+  // users default to the pure paper machinery.
   Rerooter(const TreeIndex& current, const OracleView& view, RerootStrategy strategy,
            pram::CostModel* cost = nullptr, int num_threads = 0,
-           std::int32_t serial_cutoff = 0);
+           std::int32_t serial_cutoff = 0, const Graph* graph = nullptr);
 
   // Θ(log² n) — the depth one serially-finished component may add.
   static std::int32_t default_serial_cutoff(Vertex capacity);
@@ -124,6 +129,7 @@ class Rerooter {
   pram::CostModel* cost_;
   int num_threads_;
   std::int32_t serial_cutoff_;
+  const Graph* graph_;
 };
 
 }  // namespace pardfs

@@ -77,6 +77,65 @@ bool Graph::has_edge(Vertex u, Vertex v) const {
   return std::find(shorter.begin(), shorter.end(), target) != shorter.end();
 }
 
+void Graph::pad_to(Vertex new_capacity) {
+  if (new_capacity <= capacity()) return;
+  adjacency_.resize(static_cast<std::size_t>(new_capacity));
+  alive_.resize(static_cast<std::size_t>(new_capacity), 0);
+}
+
+void Graph::adopt_component(std::span<const Vertex> vertices,
+                            std::vector<std::vector<Vertex>> rows) {
+  PARDFS_CHECK_MSG(vertices.size() == rows.size(),
+                   "adopt_component: vertices/rows size mismatch");
+  std::vector<std::uint8_t> member(static_cast<std::size_t>(capacity()), 0);
+  for (const Vertex v : vertices) {
+    PARDFS_CHECK_MSG(v >= 0 && v < capacity() &&
+                         alive_[static_cast<std::size_t>(v)] == 0,
+                     "adopt_component: vertex alive or out of range");
+    member[static_cast<std::size_t>(v)] = 1;
+  }
+  std::int64_t degree_sum = 0;
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (const Vertex w : rows[i]) {
+      PARDFS_CHECK_MSG(w >= 0 && w < capacity() &&
+                           member[static_cast<std::size_t>(w)] != 0,
+                       "adopt_component: rows are not edge-closed");
+    }
+    degree_sum += static_cast<std::int64_t>(rows[i].size());
+    adjacency_[static_cast<std::size_t>(vertices[i])] = std::move(rows[i]);
+    alive_[static_cast<std::size_t>(vertices[i])] = 1;
+  }
+  num_alive_ += static_cast<Vertex>(vertices.size());
+  num_edges_ += degree_sum / 2;
+}
+
+std::vector<std::vector<Vertex>> Graph::extract_component(
+    std::span<const Vertex> vertices) {
+  std::vector<std::uint8_t> member(static_cast<std::size_t>(capacity()), 0);
+  for (const Vertex v : vertices) {
+    check_alive(v);
+    member[static_cast<std::size_t>(v)] = 1;
+  }
+  std::vector<std::vector<Vertex>> rows;
+  rows.reserve(vertices.size());
+  std::int64_t degree_sum = 0;
+  for (const Vertex v : vertices) {
+    auto& nbrs = adjacency_[static_cast<std::size_t>(v)];
+    for (const Vertex w : nbrs) {
+      PARDFS_CHECK_MSG(member[static_cast<std::size_t>(w)] != 0,
+                       "extract_component: vertex set is not edge-closed");
+    }
+    degree_sum += static_cast<std::int64_t>(nbrs.size());
+    rows.push_back(std::move(nbrs));
+    nbrs.clear();
+    nbrs.shrink_to_fit();
+    alive_[static_cast<std::size_t>(v)] = 0;
+  }
+  num_alive_ -= static_cast<Vertex>(vertices.size());
+  num_edges_ -= degree_sum / 2;
+  return rows;
+}
+
 std::vector<Edge> Graph::edges() const {
   // CSR-style snapshot: parallel counting pass, exclusive scan for slots,
   // parallel fill. Each (u < v) pair lands at a fixed offset, so the output

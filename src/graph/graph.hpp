@@ -54,6 +54,26 @@ class Graph {
 
   bool has_edge(Vertex u, Vertex v) const;
 
+  // ---- sharding support (service/shard_router) -----------------------------
+  // Several sharded graphs share one global id space; each owns only the
+  // vertices of its components and keeps every other id as a dead hole.
+  //
+  // Extends the id space to `new_capacity` with dead vertices (empty
+  // adjacency, not alive). Ids below the current capacity are untouched;
+  // no-op when not larger.
+  void pad_to(Vertex new_capacity);
+  // Revives `vertices` (currently dead, within capacity) with the given
+  // adjacency rows, verbatim. The set must be edge-closed (every row
+  // endpoint inside it): the use case is transplanting whole connected
+  // components between shards, where preserving exact row order keeps the
+  // DFS forests byte-identical to a single-shard history (DESIGN.md §12).
+  void adopt_component(std::span<const Vertex> vertices,
+                       std::vector<std::vector<Vertex>> rows);
+  // Inverse of adopt_component: removes the (edge-closed) vertex set and
+  // returns its adjacency rows verbatim, parallel to `vertices`.
+  std::vector<std::vector<Vertex>> extract_component(
+      std::span<const Vertex> vertices);
+
   // ---- access ---------------------------------------------------------—--
   std::span<const Vertex> neighbors(Vertex v) const {
     return adjacency_[static_cast<std::size_t>(v)];

@@ -1,326 +1,21 @@
 #include "service/dfs_service.hpp"
 
-#include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
-#include <utility>
-#include <vector>
-
-#include "core/articulation.hpp"
-#include "obs/export.hpp"
-#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace pardfs::service {
 namespace {
 
-// The service's ends of the six-phase writer pipeline (DESIGN.md §11): the
-// core records patch/reroot/index_rebuild/rebase under the same metric.
-obs::Histogram& queue_wait_hist() {
-  static obs::Histogram& h = obs::Registry::global().histogram(
-      "pardfs_update_phase_us", "phase=\"queue_wait\"", 1e-3);
-  return h;
-}
-obs::Histogram& publish_hist() {
-  static obs::Histogram& h = obs::Registry::global().histogram(
-      "pardfs_update_phase_us", "phase=\"publish\"", 1e-3);
-  return h;
-}
-// Submit-to-ack latency of accepted updates — the ROADMAP's p99/p50 pipeline
-// target reads from here.
-obs::Histogram& ack_latency_hist() {
-  static obs::Histogram& h = obs::Registry::global().histogram(
-      "pardfs_ack_latency_us", "", 1e-3);
-  return h;
-}
-// Age of the outgoing snapshot at replacement time: how stale readers could
-// observe the forest between publishes.
-obs::Histogram& staleness_hist() {
-  static obs::Histogram& h = obs::Registry::global().histogram(
-      "pardfs_snapshot_staleness_us", "", 1e-3);
-  return h;
-}
-obs::Gauge& queue_depth_gauge() {
-  static obs::Gauge& g =
-      obs::Registry::global().gauge("pardfs_queue_depth");
-  return g;
-}
-obs::Gauge& coalesce_gauge() {
-  static obs::Gauge& g =
-      obs::Registry::global().gauge("pardfs_coalesce_size");
-  return g;
+ServiceConfig checked(ServiceConfig config) {
+  PARDFS_CHECK_MSG(config.num_shards <= 1,
+                   "DfsService is the single-shard facade; construct a "
+                   "ShardRouter for num_shards > 1");
+  config.num_shards = 1;
+  return config;
 }
 
 }  // namespace
 
-// Tracks the effect of the accepted prefix of one batch on top of the core
-// graph, so feasibility of update i sees updates 0..i-1 (clients race each
-// other; the queue order is the serialization the service commits to).
-struct DfsService::BatchDelta {
-  std::unordered_map<std::uint64_t, bool> edges;  // undirected key -> present
-  std::unordered_set<Vertex> dead;
-  Vertex next_vertex = 0;  // first id not yet assigned
-};
-
 DfsService::DfsService(Graph initial, ServiceConfig config)
-    : config_(config),
-      dfs_(std::move(initial), config.strategy, nullptr, config.num_threads),
-      queue_(config.queue_capacity),
-      paused_(config.start_paused) {
-  // Eager registration of the service-side series (the publish histogram and
-  // both gauges register through their first use below / in writer_loop).
-  queue_wait_hist();
-  ack_latency_hist();
-  staleness_hist();
-  queue_depth_gauge();
-  coalesce_gauge();
-  version_ = 1;
-  publish(/*forest_unchanged=*/false);
-  writer_ = std::thread([this] { writer_loop(); });
-}
-
-DfsService::~DfsService() { stop(); }
-
-std::uint64_t DfsService::apply_sync(GraphUpdate update) {
-  // A submit racing stop() yields a pre-rejected ticket, so the blocking
-  // wait is unconditionally safe.
-  return submit(std::move(update)).wait();
-}
-
-void DfsService::pause() {
-  {
-    std::lock_guard lock(control_mu_);
-    paused_ = true;
-  }
-  control_cv_.notify_all();
-}
-
-void DfsService::resume() {
-  {
-    std::lock_guard lock(control_mu_);
-    paused_ = false;
-  }
-  control_cv_.notify_all();
-}
-
-void DfsService::stop() {
-  {
-    std::lock_guard lock(control_mu_);
-    stopped_ = true;
-    paused_ = false;
-  }
-  control_cv_.notify_all();
-  queue_.close();
-  if (writer_.joinable()) writer_.join();
-}
-
-ServiceStats DfsService::stats() const {
-  std::lock_guard lock(control_mu_);
-  ServiceStats out = stats_;
-  out.rejected_infeasible = out.updates_rejected;
-  out.rejected_shutdown = queue_.rejected_after_close();
-  return out;
-}
-
-std::string DfsService::metrics_text() const { return obs::prometheus_text(); }
-
-std::string DfsService::metrics_json() const { return obs::metrics_json(); }
-
-void DfsService::publish(bool forest_unchanged) {
-  obs::ScopedPhase phase(publish_hist(), "publish");
-  const std::uint64_t now = obs::now_ns();
-  if (last_publish_ns_ != 0) {
-    staleness_hist().record(now - last_publish_ns_);
-  }
-  last_publish_ns_ = now;
-  const Graph& g = dfs_.graph();
-  // Cut structure depends on the back edges too, so a patch-only batch that
-  // shares its forest still recomputes it.
-  std::shared_ptr<const CutStructure> cuts;
-  if (config_.serve_cuts) {
-    cuts = std::make_shared<const CutStructure>(find_cuts(g, dfs_.parent()));
-  }
-  std::shared_ptr<const DfsSnapshot::Forest> forest;
-  if (forest_unchanged) {
-    // Patch-only batch: only num_edges and the version moved. Share the
-    // previous snapshot's forest instead of paying three O(n) copies.
-    forest = snapshot_.load(std::memory_order_relaxed)->forest();
-  } else {
-    auto fresh = std::make_shared<DfsSnapshot::Forest>();
-    fresh->parent.assign(dfs_.parent().begin(), dfs_.parent().end());
-    fresh->alive.assign(g.alive().begin(), g.alive().end());
-    // Share the core's freshly rebuilt index: rebuilds swap in a new
-    // TreeIndex object rather than mutating this one, so readers may hold
-    // it indefinitely and publication stops cloning megabytes per batch.
-    fresh->index = dfs_.tree_ptr();
-    fresh->num_vertices = g.num_vertices();
-    forest = std::move(fresh);
-  }
-  snapshot_.store(
-      std::make_shared<const DfsSnapshot>(version_, updates_applied_,
-                                          std::move(forest), g.num_edges(),
-                                          std::move(cuts)),
-      std::memory_order_release);
-}
-
-bool DfsService::feasible(const GraphUpdate& u, BatchDelta& delta) const {
-  const Graph& g = dfs_.graph();
-  const auto alive = [&](Vertex v) {
-    if (v < 0 || v >= delta.next_vertex) return false;
-    if (delta.dead.contains(v)) return false;
-    if (v < g.capacity()) return g.is_alive(v);
-    return true;  // assigned by an earlier insert of this batch
-  };
-  const auto has_edge = [&](Vertex a, Vertex b) {
-    const auto it = delta.edges.find(undirected_key(a, b));
-    if (it != delta.edges.end()) return it->second;
-    return g.has_edge(a, b);  // total: range-checked via liveness
-  };
-  switch (u.kind) {
-    case GraphUpdate::Kind::kInsertEdge:
-      if (u.u == u.v || !alive(u.u) || !alive(u.v) || has_edge(u.u, u.v)) {
-        return false;
-      }
-      delta.edges[undirected_key(u.u, u.v)] = true;
-      return true;
-    case GraphUpdate::Kind::kDeleteEdge:
-      if (u.u == u.v || !alive(u.u) || !alive(u.v) || !has_edge(u.u, u.v)) {
-        return false;
-      }
-      delta.edges[undirected_key(u.u, u.v)] = false;
-      return true;
-    case GraphUpdate::Kind::kInsertVertex: {
-      for (const Vertex n : u.neighbors) {
-        if (!alive(n)) return false;
-      }
-      for (std::size_t i = 0; i < u.neighbors.size(); ++i) {
-        for (std::size_t j = i + 1; j < u.neighbors.size(); ++j) {
-          if (u.neighbors[i] == u.neighbors[j]) return false;
-        }
-      }
-      // Record the incident edges the insert creates: later updates of the
-      // same batch may legitimately reference them.
-      for (const Vertex n : u.neighbors) {
-        delta.edges[undirected_key(delta.next_vertex, n)] = true;
-      }
-      ++delta.next_vertex;
-      return true;
-    }
-    case GraphUpdate::Kind::kDeleteVertex:
-      if (!alive(u.u)) return false;
-      delta.dead.insert(u.u);
-      return true;
-  }
-  return false;
-}
-
-void DfsService::writer_loop() {
-  static obs::Counter& infeasible_rejections = obs::Registry::global().counter(
-      "pardfs_acks_rejected_total", "reason=\"infeasible\"");
-  static obs::Counter& batches_ctr =
-      obs::Registry::global().counter("pardfs_batches_total");
-  static obs::Counter& applied_ctr =
-      obs::Registry::global().counter("pardfs_updates_applied_total");
-  static obs::Counter& published_ctr =
-      obs::Registry::global().counter("pardfs_snapshots_published_total");
-  std::vector<PendingUpdate> pending;
-  std::vector<GraphUpdate> batch;
-  std::vector<UpdateTicket> accepted;
-  std::vector<std::uint64_t> accepted_enqueue_ns;
-  for (;;) {
-    {
-      std::unique_lock lock(control_mu_);
-      control_cv_.wait(lock, [&] { return !paused_ || stopped_; });
-    }
-    pending.clear();
-    const std::size_t cap =
-        config_.max_batch == 0 ? dfs_.epoch_period() : config_.max_batch;
-    {
-      // The span covers the blocking wait for work — idle gaps show up as
-      // long drain spans in the trace, not as holes.
-      const obs::Span drain_span("drain");
-      if (!queue_.drain(pending, cap)) break;  // closed and fully drained
-    }
-    {
-      // pause() may have landed while drain() was blocked on an empty queue:
-      // drained updates are held, un-applied, until resume (or stop).
-      std::unique_lock lock(control_mu_);
-      control_cv_.wait(lock, [&] { return !paused_ || stopped_; });
-    }
-    // Queue-wait phase (submit → drain) per update, plus the two service
-    // gauges: how much is still queued and how much this drain coalesced.
-    if (obs::metrics_enabled()) {
-      const std::uint64_t drained_at = obs::now_ns();
-      for (const PendingUpdate& p : pending) {
-        if (p.enqueue_ns != 0) queue_wait_hist().record(drained_at - p.enqueue_ns);
-      }
-    }
-    queue_depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
-    coalesce_gauge().set(static_cast<std::int64_t>(pending.size()));
-
-    batch.clear();
-    accepted.clear();
-    accepted_enqueue_ns.clear();
-    BatchDelta delta;
-    delta.next_vertex = dfs_.graph().capacity();
-    std::uint64_t rejected = 0;
-    for (PendingUpdate& p : pending) {
-      if (feasible(p.update, delta)) {
-        batch.push_back(std::move(p.update));
-        accepted.push_back(p.ticket);
-        accepted_enqueue_ns.push_back(p.enqueue_ns);
-      } else {
-        p.ticket.ack(UpdateTicket::kRejected);
-        ++rejected;
-        infeasible_rejections.add();
-      }
-    }
-
-    BatchStats batch_stats;
-    if (!batch.empty()) {
-      {
-        const obs::Span apply_span("apply_batch");
-        batch_stats = dfs_.apply_batch(batch);
-      }
-      updates_applied_ += batch.size();
-      ++version_;
-      publish(/*forest_unchanged=*/batch_stats.structural == 0);
-      batches_ctr.add();
-      applied_ctr.add(batch.size());
-      published_ctr.add();
-    }
-    // Acks go out after the publish, so a wait()er's snapshot() already
-    // reflects its update.
-    std::size_t next_new_vertex = 0;
-    const std::uint64_t acked_at =
-        obs::metrics_enabled() && !accepted.empty() ? obs::now_ns() : 0;
-    for (std::size_t i = 0; i < accepted.size(); ++i) {
-      Vertex assigned = kNullVertex;
-      if (batch[i].kind == GraphUpdate::Kind::kInsertVertex) {
-        assigned = batch_stats.new_vertices[next_new_vertex++];
-      }
-      accepted[i].ack(version_, assigned);
-      if (acked_at != 0 && accepted_enqueue_ns[i] != 0) {
-        ack_latency_hist().record(acked_at - accepted_enqueue_ns[i]);
-      }
-    }
-
-    {
-      std::lock_guard lock(control_mu_);
-      stats_.updates_rejected += rejected;
-      if (!batch.empty()) {
-        ++stats_.batches;
-        ++stats_.snapshots_published;
-        stats_.updates_applied += batch.size();
-        stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch, batch.size());
-        stats_.structural += batch_stats.structural;
-        stats_.back_edges += batch_stats.back_edges;
-        stats_.segments += batch_stats.segments;
-        stats_.index_rebuilds += batch_stats.index_rebuilds;
-        stats_.base_rebuilds += batch_stats.base_rebuilds;
-      }
-    }
-  }
-}
+    : router_(std::move(initial), checked(std::move(config))) {}
 
 }  // namespace pardfs::service

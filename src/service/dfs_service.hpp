@@ -1,6 +1,15 @@
 // Concurrent snapshot-serving layer over DynamicDfs — the read-mostly
 // deployment shape the paper's design is built for (ROADMAP north star).
 //
+// Since the sharding refactor (DESIGN.md §12) DfsService is a thin façade
+// over a single-shard ShardRouter: the router owns the writer thread, the
+// MPSC UpdateQueue, the feasibility filter and the RCU snapshot publication;
+// at num_shards == 1 its writer path is the exact historical single-writer
+// pipeline (same batching, same metric series, same ack semantics). This
+// class keeps the one-graph API — snapshot() as a single atomic load —
+// that the tests, benches and tools grew against. Multi-shard deployments
+// construct a ShardRouter directly (service/shard_router.hpp).
+//
 // One writer thread owns the DynamicDfs instance. It drains the MPSC
 // UpdateQueue, coalescing whatever is pending (up to the epoch period) into
 // one batch, applies it through DynamicDfs::apply_batch — one combined
@@ -20,132 +29,73 @@
 // of the first snapshot that reflects them.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
-#include <thread>
+#include <utility>
 
-#include "core/dynamic_dfs.hpp"
-#include "service/snapshot.hpp"
-#include "service/update_queue.hpp"
+#include "service/shard_router.hpp"
 
 namespace pardfs::service {
 
-struct ServiceConfig {
-  std::size_t queue_capacity = 4096;
-  // Coalescing cap per drain; 0 = the core's epoch period (Θ(log n), the
-  // largest batch the Theorem 9 patch budget absorbs in one segment).
-  std::size_t max_batch = 0;
-  RerootStrategy strategy = RerootStrategy::kPaper;
-  // Worker-team cap for the rerooting engine's parallel rounds (0 = the pram
-  // facade default). Purely a wall-clock knob: the served forest is
-  // identical at any value.
-  int num_threads = 0;
-  // Start with the writer paused (updates queue up; nothing applies until
-  // resume()). Lets tests and benchmarks pin coalescing deterministically.
-  bool start_paused = false;
-  // Compute core/articulation's CutStructure at every publish so snapshots
-  // answer articulation / bridge queries (the dynamic_map workload's client
-  // vocabulary). Costs one O(m + n) low-link pass per published batch —
-  // off by default so update-heavy deployments don't pay it.
-  bool serve_cuts = false;
-};
-
-struct ServiceStats {
-  std::uint64_t batches = 0;             // apply_batch calls
-  std::uint64_t updates_applied = 0;     // accepted updates
-  std::uint64_t updates_rejected = 0;    // infeasible at drain time
-  std::uint64_t snapshots_published = 0; // excludes the constructor's
-  std::uint64_t max_batch = 0;           // largest coalesced batch so far
-  std::uint64_t structural = 0;          // accepted structural updates
-  std::uint64_t back_edges = 0;          // accepted patch-only updates
-  std::uint64_t segments = 0;            // combined engine passes
-  std::uint64_t index_rebuilds = 0;      // O(n) rebuilds across all batches
-  std::uint64_t base_rebuilds = 0;       // epoch rebases across all batches
-  // kRejected acks by reason. `rejected_infeasible` == updates_rejected (the
-  // historical drain-time meaning); `rejected_shutdown` counts submits that
-  // lost the race against stop() and were pre-rejected by the queue — those
-  // never reach the writer, so they are NOT part of updates_rejected.
-  std::uint64_t rejected_infeasible = 0;
-  std::uint64_t rejected_shutdown = 0;
-};
-
 class DfsService {
  public:
+  // config.num_shards must be 1 (the default): this façade serves the
+  // single-snapshot API. Use ShardRouter directly for num_shards > 1.
   explicit DfsService(Graph initial, ServiceConfig config = {});
-  ~DfsService();
+
   DfsService(const DfsService&) = delete;
   DfsService& operator=(const DfsService&) = delete;
 
   // ---- reader side ---------------------------------------------------------
   // The latest published snapshot: one atomic shared_ptr load, any number of
   // concurrent callers, never blocked by in-flight batches.
-  SnapshotPtr snapshot() const {
-    return snapshot_.load(std::memory_order_acquire);
-  }
+  SnapshotPtr snapshot() const { return router_.shard_snapshot(0); }
 
   // ---- producer side -------------------------------------------------------
   // Blocks while the queue is full (backpressure). After stop() the ticket
   // comes back already acknowledged as kRejected (always safe to wait() on).
-  UpdateTicket submit(GraphUpdate update) { return queue_.submit(std::move(update)); }
+  UpdateTicket submit(GraphUpdate update) {
+    return router_.submit(std::move(update));
+  }
   bool try_submit(GraphUpdate update, UpdateTicket* ticket) {
-    return queue_.try_submit(std::move(update), ticket);
+    return router_.try_submit(std::move(update), ticket);
   }
   // submit + wait: returns the publishing version or UpdateTicket::kRejected.
-  std::uint64_t apply_sync(GraphUpdate update);
+  std::uint64_t apply_sync(GraphUpdate update) {
+    return router_.apply_sync(std::move(update));
+  }
 
   // ---- lifecycle -----------------------------------------------------------
   // After pause() returns, no further batch is applied or published until
   // resume() (a batch already mid-apply completes; updates the writer had
   // already drained are held back un-applied).
-  void pause();
-  void resume();
+  void pause() { router_.pause(); }
+  void resume() { router_.resume(); }
   // Closes the queue, lets the writer drain every pending update (all
   // tickets get acknowledged), and joins it. Idempotent.
-  void stop();
+  void stop() { router_.stop(); }
 
-  ServiceStats stats() const;
-  std::size_t queue_depth() const { return queue_.size(); }
+  ServiceStats stats() const { return router_.stats(); }
+  std::size_t queue_depth() const { return router_.queue_depth(); }
 
   // ---- observability -------------------------------------------------------
   // Point-in-time dump of the process-wide obs registry (DESIGN.md §11):
   // Prometheus exposition text / one JSON object. Callable from any thread
   // while the service runs; the registry is process-global, so the page also
   // carries the core's phase histograms and engine counters.
-  std::string metrics_text() const;
-  std::string metrics_json() const;
+  std::string metrics_text() const { return router_.metrics_text(); }
+  std::string metrics_json() const { return router_.metrics_json(); }
 
   // The underlying engine — owned by the writer thread while the service
   // runs; only safe to inspect after stop().
-  const DynamicDfs& core() const { return dfs_; }
+  const DynamicDfs& core() const { return router_.core(0); }
+
+  // The router underneath (e.g. for RouterView-based readers).
+  const ShardRouter& router() const { return router_; }
+  ShardRouter& router() { return router_; }
 
  private:
-  void writer_loop();
-  // forest_unchanged: the batch was patch-only, so the previous snapshot's
-  // Forest is shared instead of re-copied (publication becomes O(1)).
-  void publish(bool forest_unchanged);
-  // Feasibility of `u` against the core graph plus the accepted prefix of
-  // the current batch (tracked in the small delta structures below).
-  struct BatchDelta;
-  bool feasible(const GraphUpdate& u, BatchDelta& delta) const;
-
-  ServiceConfig config_;
-  DynamicDfs dfs_;  // writer-thread-owned after construction
-  UpdateQueue queue_;
-  std::atomic<SnapshotPtr> snapshot_;
-  std::uint64_t version_ = 0;          // writer-only after construction
-  std::uint64_t updates_applied_ = 0;  // writer-only after construction
-  std::uint64_t last_publish_ns_ = 0;  // writer-only; snapshot-staleness base
-
-  mutable std::mutex control_mu_;  // pause flag + stats
-  std::condition_variable control_cv_;
-  bool paused_ = false;
-  bool stopped_ = false;
-  ServiceStats stats_;
-
-  std::thread writer_;  // last member: starts after everything is ready
+  ShardRouter router_;
 };
 
 }  // namespace pardfs::service

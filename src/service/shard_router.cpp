@@ -1,0 +1,1065 @@
+#include "service/shard_router.hpp"
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "core/articulation.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+
+namespace pardfs::service {
+namespace {
+
+// The legacy unlabeled service series (the shapes PR 6's dashboards and the
+// benches read). A 1-shard router records into exactly these, so nothing
+// downstream notices the refactor; multi-shard routers use shard="<id>"
+// labeled twins of every family instead.
+obs::Histogram& queue_wait_hist() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "pardfs_update_phase_us", "phase=\"queue_wait\"", 1e-3);
+  return h;
+}
+obs::Histogram& publish_hist() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "pardfs_update_phase_us", "phase=\"publish\"", 1e-3);
+  return h;
+}
+// Submit-to-ack latency of accepted updates — the ROADMAP's p99/p50 pipeline
+// target reads from here.
+obs::Histogram& ack_latency_hist() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "pardfs_ack_latency_us", "", 1e-3);
+  return h;
+}
+// Age of the outgoing snapshot at replacement time: how stale readers could
+// observe the forest between publishes.
+obs::Histogram& staleness_hist() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "pardfs_snapshot_staleness_us", "", 1e-3);
+  return h;
+}
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g = obs::Registry::global().gauge("pardfs_queue_depth");
+  return g;
+}
+obs::Gauge& coalesce_gauge() {
+  static obs::Gauge& g = obs::Registry::global().gauge("pardfs_coalesce_size");
+  return g;
+}
+
+// Sharding counters (process-global; a migration moves one component).
+obs::Counter& migrations_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("pardfs_shard_migrations_total");
+  return c;
+}
+obs::Counter& cross_shard_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("pardfs_cross_shard_inserts_total");
+  return c;
+}
+obs::Counter& infeasible_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "pardfs_acks_rejected_total", "reason=\"infeasible\"");
+  return c;
+}
+obs::Counter& batches_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("pardfs_batches_total");
+  return c;
+}
+obs::Counter& applied_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("pardfs_updates_applied_total");
+  return c;
+}
+obs::Counter& published_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("pardfs_snapshots_published_total");
+  return c;
+}
+
+}  // namespace
+
+// Lock-free chunked directory: a fixed top-level array of atomic chunk
+// pointers covering the full 31-bit id space, chunks allocated on demand.
+// -1 = the id was never assigned. Entries outlive their vertex (they keep
+// pointing at the shard where it died), so every id resolves to a snapshot
+// that answers the totality-preserving default.
+class ShardRouter::Directory {
+ public:
+  Directory() {
+    for (auto& c : chunks_) c.store(nullptr, std::memory_order_relaxed);
+  }
+  ~Directory() {
+    for (auto& c : chunks_) delete c.load(std::memory_order_relaxed);
+  }
+  Directory(const Directory&) = delete;
+  Directory& operator=(const Directory&) = delete;
+
+  std::int32_t get(Vertex v) const {
+    if (v < 0) return -1;
+    const std::size_t idx = static_cast<std::size_t>(v) >> kChunkBits;
+    if (idx >= kMaxChunks) return -1;
+    const Chunk* c = chunks_[idx].load(std::memory_order_acquire);
+    if (c == nullptr) return -1;
+    return c->entry[static_cast<std::size_t>(v) & kChunkMask].load(
+        std::memory_order_acquire);
+  }
+
+  void set(Vertex v, std::int32_t shard) {
+    const std::size_t idx = static_cast<std::size_t>(v) >> kChunkBits;
+    PARDFS_CHECK_MSG(v >= 0 && idx < kMaxChunks,
+                     "vertex id outside the directory's range");
+    Chunk* c = chunks_[idx].load(std::memory_order_acquire);
+    if (c == nullptr) {
+      std::lock_guard lock(grow_mu_);
+      c = chunks_[idx].load(std::memory_order_acquire);
+      if (c == nullptr) {
+        auto fresh = std::make_unique<Chunk>();
+        for (auto& e : fresh->entry) e.store(-1, std::memory_order_relaxed);
+        c = fresh.release();
+        chunks_[idx].store(c, std::memory_order_release);
+      }
+    }
+    c->entry[static_cast<std::size_t>(v) & kChunkMask].store(
+        shard, std::memory_order_release);
+  }
+
+ private:
+  static constexpr std::size_t kChunkBits = 16;
+  static constexpr std::size_t kChunkMask = (std::size_t{1} << kChunkBits) - 1;
+  static constexpr std::size_t kMaxChunks = std::size_t{1} << 15;  // 2^31 ids
+  struct Chunk {
+    std::array<std::atomic<std::int32_t>, std::size_t{1} << kChunkBits> entry;
+  };
+  std::array<std::atomic<Chunk*>, kMaxChunks> chunks_;
+  std::mutex grow_mu_;
+};
+
+// One full single-writer serving stack (dfs_service.hpp's former internals).
+// `mu` is the engine lock: the shard's writer holds it while applying and
+// publishing; a merge executed by another shard's writer holds both involved
+// engine locks (ascending id order). Snapshot loads never take it.
+struct ShardRouter::Shard {
+  Shard(std::size_t id_, Graph g, const ServiceConfig& cfg,
+        std::string obs_label)
+      : id(id_),
+        dfs(std::move(g), cfg.strategy, nullptr, cfg.num_threads, -1,
+            std::move(obs_label)),
+        queue(cfg.queue_capacity) {}
+
+  const std::size_t id;
+  mutable std::mutex mu;
+  DynamicDfs dfs;                     // guarded by mu
+  UpdateQueue queue;
+  std::atomic<SnapshotPtr> snapshot;
+  std::uint64_t version = 0;          // guarded by mu
+  std::uint64_t updates_applied = 0;  // guarded by mu
+  std::uint64_t last_publish_ns = 0;  // guarded by mu
+  ServiceStats stats;                 // guarded by the router's control_mu_
+  // This shard's service series (S == 1: the legacy unlabeled ones).
+  obs::Histogram* queue_wait = nullptr;
+  obs::Histogram* publish_hist = nullptr;
+  obs::Histogram* ack_latency = nullptr;
+  obs::Histogram* staleness = nullptr;
+  obs::Gauge* depth_gauge = nullptr;
+  obs::Gauge* coalesce_gauge = nullptr;
+  std::thread writer;  // started by the router after every shard is published
+};
+
+// Tracks the effect of the accepted prefix of one batch on top of the shard
+// graph, so feasibility of update i sees updates 0..i-1 (clients race each
+// other; the queue order is the serialization the service commits to).
+struct ShardRouter::BatchDelta {
+  std::unordered_map<std::uint64_t, bool> edges;  // undirected key -> present
+  std::unordered_set<Vertex> dead;
+  Vertex next_vertex = 0;  // first id not yet assigned
+};
+
+ShardRouter::ShardRouter(Graph initial, ServiceConfig config)
+    : config_(config) {
+  if (config_.num_shards == 0) config_.num_shards = 1;
+  const std::size_t S = config_.num_shards;
+  paused_ = config_.start_paused;
+  directory_ = std::make_unique<Directory>();
+  global_next_ = initial.capacity();
+  const Vertex n = initial.capacity();
+
+  // Component partition: BFS over the initial graph, components assigned
+  // round-robin in ascending root-id order (balanced in component count and
+  // deterministic, so repeated constructions shard identically).
+  std::vector<std::int32_t> owner(static_cast<std::size_t>(n), -1);
+  {
+    std::vector<Vertex> stack;
+    std::size_t next_shard = 0;
+    for (Vertex r = 0; r < n; ++r) {
+      if (!initial.is_alive(r) || owner[static_cast<std::size_t>(r)] != -1) {
+        continue;
+      }
+      const auto s = static_cast<std::int32_t>(next_shard);
+      next_shard = (next_shard + 1) % S;
+      owner[static_cast<std::size_t>(r)] = s;
+      stack.push_back(r);
+      while (!stack.empty()) {
+        const Vertex v = stack.back();
+        stack.pop_back();
+        for (const Vertex w : initial.neighbors(v)) {
+          if (owner[static_cast<std::size_t>(w)] == -1) {
+            owner[static_cast<std::size_t>(w)] = s;
+            stack.push_back(w);
+          }
+        }
+      }
+    }
+  }
+
+  // Per-shard engines over full-id-space graphs: a shard owns whole
+  // components, every other id is a dead hole. Verbatim adjacency rows keep
+  // each component's forest byte-identical to a single-shard run.
+  for (std::size_t s = 0; s < S; ++s) {
+    Graph g;
+    if (S == 1) {
+      g = std::move(initial);
+    } else {
+      g.pad_to(n);
+      std::vector<Vertex> verts;
+      std::vector<std::vector<Vertex>> rows;
+      for (Vertex v = 0; v < n; ++v) {
+        if (owner[static_cast<std::size_t>(v)] ==
+            static_cast<std::int32_t>(s)) {
+          verts.push_back(v);
+          const auto nb = initial.neighbors(v);
+          rows.emplace_back(nb.begin(), nb.end());
+        }
+      }
+      g.adopt_component(verts, std::move(rows));
+    }
+    shards_.push_back(std::make_unique<Shard>(
+        s, std::move(g), config_, S > 1 ? std::to_string(s) : std::string()));
+  }
+
+  // Eager registration: every shard's full series set (plus the process-wide
+  // sharding counters) shows up at zero on a fresh metrics page.
+  obs::Registry& reg = obs::Registry::global();
+  for (auto& sh : shards_) {
+    if (S == 1) {
+      sh->queue_wait = &queue_wait_hist();
+      sh->publish_hist = &publish_hist();
+      sh->ack_latency = &ack_latency_hist();
+      sh->staleness = &staleness_hist();
+      sh->depth_gauge = &queue_depth_gauge();
+      sh->coalesce_gauge = &coalesce_gauge();
+    } else {
+      const std::string label = "shard=\"" + std::to_string(sh->id) + "\"";
+      sh->queue_wait = &reg.histogram("pardfs_update_phase_us",
+                                      "phase=\"queue_wait\"," + label, 1e-3);
+      sh->publish_hist = &reg.histogram("pardfs_update_phase_us",
+                                        "phase=\"publish\"," + label, 1e-3);
+      sh->ack_latency = &reg.histogram("pardfs_ack_latency_us", label, 1e-3);
+      sh->staleness =
+          &reg.histogram("pardfs_snapshot_staleness_us", label, 1e-3);
+      sh->depth_gauge = &reg.gauge("pardfs_queue_depth", label);
+      sh->coalesce_gauge = &reg.gauge("pardfs_coalesce_size", label);
+    }
+  }
+  migrations_counter();
+  cross_shard_counter();
+  infeasible_counter();
+  batches_counter();
+  applied_counter();
+  published_counter();
+
+  for (Vertex v = 0; v < n; ++v) {
+    if (S == 1) {
+      // `initial` was moved into shard 0; its liveness now lives there.
+      if (shards_[0]->dfs.graph().is_alive(v)) directory_->set(v, 0);
+    } else if (owner[static_cast<std::size_t>(v)] >= 0) {
+      directory_->set(v, owner[static_cast<std::size_t>(v)]);
+    }
+  }
+  for (auto& sh : shards_) {
+    std::lock_guard lock(sh->mu);
+    sh->version = 1;
+    publish(*sh, /*forest_unchanged=*/false);
+  }
+  for (auto& sh : shards_) {
+    sh->writer = std::thread([this, shard = sh.get()] { writer_loop(*shard); });
+  }
+}
+
+ShardRouter::~ShardRouter() { stop(); }
+
+int ShardRouter::shard_of(Vertex v) const { return directory_->get(v); }
+
+SnapshotPtr ShardRouter::shard_snapshot(std::size_t shard) const {
+  return shards_[shard]->snapshot.load(std::memory_order_acquire);
+}
+
+UpdateTicket ShardRouter::submit(GraphUpdate update) {
+  Shard& sh = *shards_[route(update)];
+  return sh.queue.submit(std::move(update));
+}
+
+bool ShardRouter::try_submit(GraphUpdate update, UpdateTicket* ticket) {
+  Shard& sh = *shards_[route(update)];
+  return sh.queue.try_submit(std::move(update), ticket);
+}
+
+std::uint64_t ShardRouter::apply_sync(GraphUpdate update) {
+  // A submit racing stop() yields a pre-rejected ticket, so the blocking
+  // wait is unconditionally safe.
+  return submit(std::move(update)).wait();
+}
+
+std::size_t ShardRouter::route(const GraphUpdate& u) const {
+  const std::size_t S = shards_.size();
+  if (S == 1) return 0;
+  // Gateway routing: the smallest shard any referenced vertex resolves to.
+  // Ops with no resolvable endpoint go to shard 0 (edge/delete: rejected by
+  // its feasibility filter) or round-robin (isolated vertex inserts, which
+  // are feasible anywhere). Components may migrate between routing and
+  // drain; the writer re-resolves then.
+  const auto min_dir = [&](std::span<const Vertex> vs) {
+    std::int32_t best = -1;
+    for (const Vertex v : vs) {
+      const std::int32_t s = directory_->get(v);
+      if (s >= 0 && (best < 0 || s < best)) best = s;
+    }
+    return best;
+  };
+  switch (u.kind) {
+    case GraphUpdate::Kind::kInsertEdge:
+    case GraphUpdate::Kind::kDeleteEdge: {
+      const std::array<Vertex, 2> ends{u.u, u.v};
+      const std::int32_t s = min_dir(ends);
+      return s >= 0 ? static_cast<std::size_t>(s) : 0;
+    }
+    case GraphUpdate::Kind::kInsertVertex: {
+      const std::int32_t s = min_dir(u.neighbors);
+      if (s >= 0) return static_cast<std::size_t>(s);
+      if (!u.neighbors.empty()) return 0;  // unknown neighbors: rejected there
+      return isolated_rr_.fetch_add(1, std::memory_order_relaxed) % S;
+    }
+    case GraphUpdate::Kind::kDeleteVertex: {
+      const std::int32_t s = directory_->get(u.u);
+      return s >= 0 ? static_cast<std::size_t>(s) : 0;
+    }
+  }
+  return 0;
+}
+
+void ShardRouter::pause() {
+  {
+    std::lock_guard lock(control_mu_);
+    paused_ = true;
+  }
+  control_cv_.notify_all();
+}
+
+void ShardRouter::resume() {
+  {
+    std::lock_guard lock(control_mu_);
+    paused_ = false;
+  }
+  control_cv_.notify_all();
+}
+
+void ShardRouter::stop() {
+  {
+    std::lock_guard lock(control_mu_);
+    stopped_ = true;
+    paused_ = false;
+  }
+  control_cv_.notify_all();
+  for (auto& sh : shards_) sh->queue.close();
+  for (auto& sh : shards_) {
+    if (sh->writer.joinable()) sh->writer.join();
+  }
+}
+
+ServiceStats ShardRouter::stats() const {
+  ServiceStats out;
+  {
+    std::lock_guard lock(control_mu_);
+    for (const auto& sh : shards_) {
+      const ServiceStats& s = sh->stats;
+      out.batches += s.batches;
+      out.updates_applied += s.updates_applied;
+      out.updates_rejected += s.updates_rejected;
+      out.snapshots_published += s.snapshots_published;
+      out.max_batch = std::max(out.max_batch, s.max_batch);
+      out.structural += s.structural;
+      out.back_edges += s.back_edges;
+      out.segments += s.segments;
+      out.index_rebuilds += s.index_rebuilds;
+      out.base_rebuilds += s.base_rebuilds;
+      out.shard_migrations += s.shard_migrations;
+      out.cross_shard_inserts += s.cross_shard_inserts;
+    }
+  }
+  out.rejected_infeasible = out.updates_rejected;
+  for (const auto& sh : shards_) {
+    out.rejected_shutdown += sh->queue.rejected_after_close();
+  }
+  return out;
+}
+
+ServiceStats ShardRouter::shard_stats(std::size_t shard) const {
+  ServiceStats out;
+  {
+    std::lock_guard lock(control_mu_);
+    out = shards_[shard]->stats;
+  }
+  out.rejected_infeasible = out.updates_rejected;
+  out.rejected_shutdown = shards_[shard]->queue.rejected_after_close();
+  return out;
+}
+
+std::size_t ShardRouter::queue_depth() const {
+  std::size_t total = 0;
+  for (const auto& sh : shards_) total += sh->queue.size();
+  return total;
+}
+
+std::size_t ShardRouter::queue_depth(std::size_t shard) const {
+  return shards_[shard]->queue.size();
+}
+
+Vertex ShardRouter::capacity() const {
+  std::lock_guard lock(id_mu_);
+  return global_next_;
+}
+
+Vertex ShardRouter::num_vertices() const {
+  Vertex total = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    total += shard_snapshot(s)->num_vertices();
+  }
+  return total;
+}
+
+std::int64_t ShardRouter::num_edges() const {
+  std::int64_t total = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    total += shard_snapshot(s)->num_edges();
+  }
+  return total;
+}
+
+std::vector<Vertex> ShardRouter::assemble_parent() const {
+  const Vertex n = capacity();
+  std::vector<SnapshotPtr> snaps;
+  snaps.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    snaps.push_back(shard_snapshot(s));
+  }
+  std::vector<Vertex> out(static_cast<std::size_t>(n), kNullVertex);
+  for (Vertex v = 0; v < n; ++v) {
+    const std::int32_t s = directory_->get(v);
+    if (s < 0) continue;
+    const auto par = snaps[static_cast<std::size_t>(s)]->parent();
+    if (static_cast<std::size_t>(v) < par.size()) {
+      out[static_cast<std::size_t>(v)] = par[static_cast<std::size_t>(v)];
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> ShardRouter::assemble_alive() const {
+  const Vertex n = capacity();
+  std::vector<SnapshotPtr> snaps;
+  snaps.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    snaps.push_back(shard_snapshot(s));
+  }
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(n), 0);
+  for (Vertex v = 0; v < n; ++v) {
+    const std::int32_t s = directory_->get(v);
+    if (s < 0) continue;
+    out[static_cast<std::size_t>(v)] =
+        snaps[static_cast<std::size_t>(s)]->contains(v) ? 1 : 0;
+  }
+  return out;
+}
+
+std::string ShardRouter::metrics_text() const { return obs::prometheus_text(); }
+
+std::string ShardRouter::metrics_json() const { return obs::metrics_json(); }
+
+const DynamicDfs& ShardRouter::core(std::size_t shard) const {
+  return shards_[shard]->dfs;
+}
+
+void ShardRouter::publish(Shard& sh, bool forest_unchanged) {
+  obs::ScopedPhase phase(*sh.publish_hist, "publish");
+  const std::uint64_t now = obs::now_ns();
+  if (sh.last_publish_ns != 0) {
+    sh.staleness->record(now - sh.last_publish_ns);
+  }
+  sh.last_publish_ns = now;
+  const Graph& g = sh.dfs.graph();
+  // Cut structure depends on the back edges too, so a patch-only batch that
+  // shares its forest still recomputes it.
+  std::shared_ptr<const CutStructure> cuts;
+  if (config_.serve_cuts) {
+    cuts = std::make_shared<const CutStructure>(find_cuts(g, sh.dfs.parent()));
+  }
+  std::shared_ptr<const DfsSnapshot::Forest> forest;
+  if (forest_unchanged) {
+    // Patch-only batch: only num_edges and the version moved. Share the
+    // previous snapshot's forest instead of paying three O(n) copies.
+    forest = sh.snapshot.load(std::memory_order_relaxed)->forest();
+  } else {
+    auto fresh = std::make_shared<DfsSnapshot::Forest>();
+    fresh->parent.assign(sh.dfs.parent().begin(), sh.dfs.parent().end());
+    fresh->alive.assign(g.alive().begin(), g.alive().end());
+    // Share the core's freshly rebuilt index: rebuilds swap in a new
+    // TreeIndex object rather than mutating this one, so readers may hold
+    // it indefinitely and publication stops cloning megabytes per batch.
+    fresh->index = sh.dfs.tree_ptr();
+    fresh->num_vertices = g.num_vertices();
+    forest = std::move(fresh);
+  }
+  sh.snapshot.store(
+      std::make_shared<const DfsSnapshot>(sh.version, sh.updates_applied,
+                                          std::move(forest), g.num_edges(),
+                                          std::move(cuts)),
+      std::memory_order_release);
+}
+
+bool ShardRouter::feasible(const Shard& sh, const GraphUpdate& u,
+                           BatchDelta& delta) const {
+  const Graph& g = sh.dfs.graph();
+  const auto alive = [&](Vertex v) {
+    if (v < 0 || v >= delta.next_vertex) return false;
+    if (delta.dead.contains(v)) return false;
+    if (v < g.capacity()) return g.is_alive(v);
+    return true;  // assigned by an earlier insert of this batch
+  };
+  const auto has_edge = [&](Vertex a, Vertex b) {
+    const auto it = delta.edges.find(undirected_key(a, b));
+    if (it != delta.edges.end()) return it->second;
+    return g.has_edge(a, b);  // total: range-checked via liveness
+  };
+  switch (u.kind) {
+    case GraphUpdate::Kind::kInsertEdge:
+      if (u.u == u.v || !alive(u.u) || !alive(u.v) || has_edge(u.u, u.v)) {
+        return false;
+      }
+      delta.edges[undirected_key(u.u, u.v)] = true;
+      return true;
+    case GraphUpdate::Kind::kDeleteEdge:
+      if (u.u == u.v || !alive(u.u) || !alive(u.v) || !has_edge(u.u, u.v)) {
+        return false;
+      }
+      delta.edges[undirected_key(u.u, u.v)] = false;
+      return true;
+    case GraphUpdate::Kind::kInsertVertex: {
+      for (const Vertex n : u.neighbors) {
+        if (!alive(n)) return false;
+      }
+      for (std::size_t i = 0; i < u.neighbors.size(); ++i) {
+        for (std::size_t j = i + 1; j < u.neighbors.size(); ++j) {
+          if (u.neighbors[i] == u.neighbors[j]) return false;
+        }
+      }
+      // Record the incident edges the insert creates: later updates of the
+      // same batch may legitimately reference them.
+      for (const Vertex n : u.neighbors) {
+        delta.edges[undirected_key(delta.next_vertex, n)] = true;
+      }
+      ++delta.next_vertex;
+      return true;
+    }
+    case GraphUpdate::Kind::kDeleteVertex:
+      if (!alive(u.u)) return false;
+      delta.dead.insert(u.u);
+      return true;
+  }
+  return false;
+}
+
+bool ShardRouter::is_local(const Shard& sh, const GraphUpdate& u) const {
+  if (shards_.size() == 1) return true;
+  const auto self = static_cast<std::int32_t>(sh.id);
+  switch (u.kind) {
+    case GraphUpdate::Kind::kInsertEdge:
+    case GraphUpdate::Kind::kDeleteEdge: {
+      const std::int32_t su = directory_->get(u.u);
+      const std::int32_t sv = directory_->get(u.v);
+      // An endpoint the directory has never seen makes the op infeasible no
+      // matter where it runs: classify local so this shard's feasibility
+      // filter rejects it, exactly like the unsharded service would.
+      if (su < 0 || sv < 0) return true;
+      return su == self && sv == self;
+    }
+    case GraphUpdate::Kind::kInsertVertex: {
+      for (const Vertex nb : u.neighbors) {
+        if (directory_->get(nb) < 0) return true;  // infeasible: local reject
+      }
+      for (const Vertex nb : u.neighbors) {
+        if (directory_->get(nb) != self) return false;
+      }
+      return true;  // includes isolated inserts (no neighbors)
+    }
+    case GraphUpdate::Kind::kDeleteVertex: {
+      const std::int32_t s = directory_->get(u.u);
+      return s < 0 || s == self;
+    }
+  }
+  return true;
+}
+
+void ShardRouter::writer_loop(Shard& sh) {
+  std::vector<PendingUpdate> pending;
+  std::vector<PendingUpdate*> run;
+  for (;;) {
+    {
+      std::unique_lock lock(control_mu_);
+      control_cv_.wait(lock, [&] { return !paused_ || stopped_; });
+    }
+    pending.clear();
+    std::size_t cap = config_.max_batch;
+    if (cap == 0) {
+      // The epoch period moves on rebases; merges mutate the engine from
+      // other writers, so even this read takes the (uncontended) lock.
+      std::lock_guard lock(sh.mu);
+      cap = sh.dfs.epoch_period();
+    }
+    {
+      // The span covers the blocking wait for work — idle gaps show up as
+      // long drain spans in the trace, not as holes.
+      const obs::Span drain_span("drain");
+      if (!sh.queue.drain(pending, cap)) break;  // closed and fully drained
+    }
+    {
+      // pause() may have landed while drain() was blocked on an empty queue:
+      // drained updates are held, un-applied, until resume (or stop).
+      std::unique_lock lock(control_mu_);
+      control_cv_.wait(lock, [&] { return !paused_ || stopped_; });
+    }
+    // Queue-wait phase (submit -> drain) per update, plus the two service
+    // gauges: how much is still queued and how much this drain coalesced.
+    if (obs::metrics_enabled()) {
+      const std::uint64_t drained_at = obs::now_ns();
+      for (const PendingUpdate& p : pending) {
+        if (p.enqueue_ns != 0) sh.queue_wait->record(drained_at - p.enqueue_ns);
+      }
+    }
+    sh.depth_gauge->set(static_cast<std::int64_t>(sh.queue.size()));
+    sh.coalesce_gauge->set(static_cast<std::int64_t>(pending.size()));
+
+    // Segment the drained FIFO into maximal runs of locally-resolving ops
+    // (batched through the ported single-writer path) interleaved with
+    // specials (merges / ops whose component migrated away after routing).
+    // Classification happens under the engine lock: directory entries
+    // pointing at this shard cannot change while it is held, so an op
+    // classified local stays local through its apply.
+    std::size_t i = 0;
+    while (i < pending.size()) {
+      std::size_t j = i;
+      {
+        std::lock_guard lock(sh.mu);
+        while (j < pending.size() && is_local(sh, pending[j].update)) ++j;
+        if (j > i) {
+          run.clear();
+          for (std::size_t k = i; k < j; ++k) run.push_back(&pending[k]);
+          apply_run_locked(sh, sh, run);
+        }
+      }
+      if (j == i) {
+        process_special(sh, pending[i]);
+        ++i;
+      } else {
+        i = j;
+      }
+    }
+  }
+}
+
+// Applies a run of ops (already classified local to `target`) as one batch:
+// the ported single-writer path. Caller holds target.mu; acks and their
+// latency are recorded against `gateway`, the shard whose queue carried the
+// ops (== target except for remote singles).
+void ShardRouter::apply_run_locked(Shard& target, Shard& gateway,
+                                   std::vector<PendingUpdate*>& run) {
+  bool has_insert = false;
+  for (const PendingUpdate* p : run) {
+    if (p->update.kind == GraphUpdate::Kind::kInsertVertex) {
+      has_insert = true;
+      break;
+    }
+  }
+  // Vertex inserts assign from the global id space: hold the id lock
+  // (innermost) across feasibility + apply so the assigned ids are exactly
+  // the ones a single-shard run would hand out. pad_capacity aligns the
+  // shard's graph so add_vertex lands on global_next_ (a no-op at S == 1).
+  std::unique_lock<std::mutex> id_lock;
+  BatchDelta delta;
+  if (has_insert) {
+    id_lock = std::unique_lock(id_mu_);
+    target.dfs.pad_capacity(global_next_);
+    delta.next_vertex = global_next_;
+  } else {
+    delta.next_vertex = target.dfs.graph().capacity();
+  }
+
+  std::vector<GraphUpdate> batch;
+  std::vector<UpdateTicket> accepted;
+  std::vector<std::uint64_t> accepted_enqueue_ns;
+  std::uint64_t rejected = 0;
+  for (PendingUpdate* p : run) {
+    if (feasible(target, p->update, delta)) {
+      batch.push_back(std::move(p->update));
+      accepted.push_back(p->ticket);
+      accepted_enqueue_ns.push_back(p->enqueue_ns);
+    } else {
+      p->ticket.ack(UpdateTicket::kRejected);
+      ++rejected;
+      infeasible_counter().add();
+    }
+  }
+
+  BatchStats batch_stats;
+  if (!batch.empty()) {
+    {
+      const obs::Span apply_span("apply_batch");
+      batch_stats = target.dfs.apply_batch(batch);
+    }
+    target.updates_applied += batch.size();
+    ++target.version;
+    if (has_insert) {
+      for (const Vertex v : batch_stats.new_vertices) {
+        directory_->set(v, static_cast<std::int32_t>(target.id));
+      }
+      global_next_ = target.dfs.graph().capacity();
+    }
+    publish(target, /*forest_unchanged=*/batch_stats.structural == 0);
+    batches_counter().add();
+    applied_counter().add(batch.size());
+    published_counter().add();
+  }
+  if (id_lock.owns_lock()) id_lock.unlock();
+  // Acks go out after the publish, so a wait()er's snapshot already reflects
+  // its update.
+  std::size_t next_new_vertex = 0;
+  const std::uint64_t acked_at =
+      obs::metrics_enabled() && !accepted.empty() ? obs::now_ns() : 0;
+  for (std::size_t i = 0; i < accepted.size(); ++i) {
+    Vertex assigned = kNullVertex;
+    if (batch[i].kind == GraphUpdate::Kind::kInsertVertex) {
+      assigned = batch_stats.new_vertices[next_new_vertex++];
+    }
+    accepted[i].ack(target.version, assigned);
+    if (acked_at != 0 && accepted_enqueue_ns[i] != 0) {
+      gateway.ack_latency->record(acked_at - accepted_enqueue_ns[i]);
+    }
+  }
+
+  {
+    std::lock_guard lock(control_mu_);
+    ServiceStats& st = target.stats;
+    st.updates_rejected += rejected;
+    if (!batch.empty()) {
+      ++st.batches;
+      ++st.snapshots_published;
+      st.updates_applied += batch.size();
+      st.max_batch = std::max<std::uint64_t>(st.max_batch, batch.size());
+      st.structural += batch_stats.structural;
+      st.back_edges += batch_stats.back_edges;
+      st.segments += batch_stats.segments;
+      st.index_rebuilds += batch_stats.index_rebuilds;
+      st.base_rebuilds += batch_stats.base_rebuilds;
+    }
+  }
+}
+
+void ShardRouter::process_special(Shard& sh, PendingUpdate& p) {
+  const GraphUpdate& u = p.update;
+  std::vector<Vertex> endpoints;
+  switch (u.kind) {
+    case GraphUpdate::Kind::kInsertEdge:
+    case GraphUpdate::Kind::kDeleteEdge:
+      endpoints = {u.u, u.v};
+      break;
+    case GraphUpdate::Kind::kInsertVertex:
+      endpoints = u.neighbors;
+      break;
+    case GraphUpdate::Kind::kDeleteVertex:
+      endpoints = {u.u};
+      break;
+  }
+
+  const auto reject = [&] {
+    p.ticket.ack(UpdateTicket::kRejected);
+    infeasible_counter().add();
+    std::lock_guard lock(control_mu_);
+    ++sh.stats.updates_rejected;
+  };
+
+  // Lock-coupling retry: resolve -> lock involved shards ascending ->
+  // re-verify. A directory entry pointing at a shard can only change while
+  // that shard's engine lock is held, so once every resolved entry survives
+  // verification under the locks, it is pinned for the protocol's duration.
+  for (;;) {
+    std::vector<std::int32_t> dirs;
+    dirs.reserve(endpoints.size());
+    std::vector<std::size_t> involved;
+    for (const Vertex v : endpoints) {
+      const std::int32_t d = directory_->get(v);
+      if (d < 0) {
+        reject();  // an endpoint that never existed: infeasible everywhere
+        return;
+      }
+      dirs.push_back(d);
+      involved.push_back(static_cast<std::size_t>(d));
+    }
+    std::sort(involved.begin(), involved.end());
+    involved.erase(std::unique(involved.begin(), involved.end()),
+                   involved.end());
+
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(involved.size());
+    for (const std::size_t s : involved) {
+      locks.emplace_back(shards_[s]->mu);
+    }
+    bool stable = true;
+    for (std::size_t k = 0; k < endpoints.size(); ++k) {
+      if (directory_->get(endpoints[k]) != dirs[k]) {
+        stable = false;
+        break;
+      }
+    }
+    if (!stable) continue;  // locks drop; a migration raced us — re-resolve
+
+    if (involved.size() == 1) {
+      // The whole op resolves into one shard (it migrated after routing, or
+      // a concurrent merge co-located the endpoints): single-op run there.
+      std::vector<PendingUpdate*> run{&p};
+      apply_run_locked(*shards_[involved[0]], sh, run);
+      return;
+    }
+
+    // Endpoints span shards. Components are shard-disjoint, so an existing
+    // edge can never span shards: a cross-shard delete is infeasible.
+    if (u.kind == GraphUpdate::Kind::kDeleteEdge) {
+      reject();
+      return;
+    }
+
+    // Two-shard (k-shard for vertex inserts) merge protocol. Feasibility
+    // first, against each endpoint's own shard.
+    bool alive_ok = true;
+    for (std::size_t k = 0; k < endpoints.size(); ++k) {
+      if (!shards_[static_cast<std::size_t>(dirs[k])]->dfs.graph().is_alive(
+              endpoints[k])) {
+        alive_ok = false;
+        break;
+      }
+    }
+    if (u.kind == GraphUpdate::Kind::kInsertVertex) {
+      for (std::size_t a = 0; alive_ok && a < endpoints.size(); ++a) {
+        for (std::size_t b = a + 1; b < endpoints.size(); ++b) {
+          if (endpoints[a] == endpoints[b]) {
+            alive_ok = false;
+            break;
+          }
+        }
+      }
+    }
+    if (!alive_ok) {
+      reject();
+      return;
+    }
+
+    // Winner: the shard owning the largest involved component (tie: lower
+    // shard id) — the smaller components migrate. Placement only; the forest
+    // content is identical whichever shard hosts the merged component.
+    std::size_t winner = involved[0];
+    std::int32_t best_size = -1;
+    for (std::size_t k = 0; k < endpoints.size(); ++k) {
+      const auto s = static_cast<std::size_t>(dirs[k]);
+      Shard& cand = *shards_[s];
+      const Vertex root = cand.dfs.root_of(endpoints[k]);
+      const std::int32_t size = cand.dfs.tree().size(root);
+      if (size > best_size || (size == best_size && s < winner)) {
+        best_size = size;
+        winner = s;
+      }
+    }
+    Shard& w = *shards_[winner];
+
+    // Migrate every involved component not already living in the winner:
+    // verbatim row transplant, deduplicated by (shard, root) — several
+    // endpoints may share a component.
+    cross_shard_counter().add();
+    std::set<std::pair<std::size_t, Vertex>> seen;
+    std::vector<Vertex> migrated;
+    std::set<std::size_t> losers;
+    std::uint64_t migrations = 0;
+    for (std::size_t k = 0; k < endpoints.size(); ++k) {
+      const auto s = static_cast<std::size_t>(dirs[k]);
+      if (s == winner) continue;
+      const Vertex root = shards_[s]->dfs.root_of(endpoints[k]);
+      if (!seen.insert({s, root}).second) continue;
+      DynamicDfs::ComponentTransfer t =
+          shards_[s]->dfs.extract_component(endpoints[k]);
+      migrated.insert(migrated.end(), t.vertices.begin(), t.vertices.end());
+      w.dfs.adopt_component(std::move(t));
+      migrations_counter().add();
+      ++migrations;
+      losers.insert(s);
+    }
+
+    // Apply the merging op on the winner (everything is co-located now).
+    BatchStats batch_stats;
+    Vertex assigned = kNullVertex;
+    {
+      const obs::Span apply_span("apply_batch");
+      if (u.kind == GraphUpdate::Kind::kInsertVertex) {
+        std::lock_guard id_lock(id_mu_);
+        w.dfs.pad_capacity(global_next_);
+        batch_stats = w.dfs.apply_batch(std::span<const GraphUpdate>(&u, 1));
+        assigned = batch_stats.new_vertices.at(0);
+        directory_->set(assigned, static_cast<std::int32_t>(winner));
+        global_next_ = w.dfs.graph().capacity();
+      } else {
+        batch_stats = w.dfs.apply_batch(std::span<const GraphUpdate>(&u, 1));
+      }
+    }
+    w.updates_applied += 1;
+    ++w.version;
+    const std::uint64_t ack_version = w.version;
+    // Publication order is what keeps readers miss-free: the winner's
+    // snapshot (which now contains the migrated component) goes out before
+    // the directory flips, and the losers' snapshots (which drop it) only
+    // after. A reader resolving mid-protocol lands on a shard whose
+    // published snapshot still answers for the vertex.
+    publish(w, /*forest_unchanged=*/false);
+    for (const Vertex mv : migrated) {
+      directory_->set(mv, static_cast<std::int32_t>(winner));
+    }
+    for (const std::size_t ls : losers) {
+      ++shards_[ls]->version;
+      publish(*shards_[ls], /*forest_unchanged=*/false);
+    }
+    batches_counter().add();
+    applied_counter().add(1);
+    published_counter().add(1 + losers.size());
+
+    p.ticket.ack(ack_version, assigned);
+    if (obs::metrics_enabled() && p.enqueue_ns != 0) {
+      sh.ack_latency->record(obs::now_ns() - p.enqueue_ns);
+    }
+
+    {
+      std::lock_guard lock(control_mu_);
+      ServiceStats& st = w.stats;
+      ++st.batches;
+      ++st.snapshots_published;
+      st.updates_applied += 1;
+      st.max_batch = std::max<std::uint64_t>(st.max_batch, 1);
+      st.structural += batch_stats.structural;
+      st.back_edges += batch_stats.back_edges;
+      st.segments += batch_stats.segments;
+      st.index_rebuilds += batch_stats.index_rebuilds;
+      st.base_rebuilds += batch_stats.base_rebuilds;
+      for (const std::size_t ls : losers) {
+        ++shards_[ls]->stats.snapshots_published;
+      }
+      sh.stats.cross_shard_inserts += 1;
+      sh.stats.shard_migrations += migrations;
+    }
+    return;
+  }
+}
+
+// ---- RouterView ------------------------------------------------------------
+
+SnapshotPtr RouterView::snapshot_of(Vertex v) const {
+  const int s = router_->shard_of(v);
+  return s < 0 ? nullptr : router_->shard_snapshot(static_cast<std::size_t>(s));
+}
+
+bool RouterView::contains(Vertex v) const {
+  const SnapshotPtr snap = snapshot_of(v);
+  return snap != nullptr && snap->contains(v);
+}
+
+Vertex RouterView::parent_of(Vertex v) const {
+  const SnapshotPtr snap = snapshot_of(v);
+  return snap != nullptr ? snap->parent_of(v) : kNullVertex;
+}
+
+Vertex RouterView::root_of(Vertex v) const {
+  const SnapshotPtr snap = snapshot_of(v);
+  return snap != nullptr ? snap->root_of(v) : kNullVertex;
+}
+
+std::int32_t RouterView::depth(Vertex v) const {
+  const SnapshotPtr snap = snapshot_of(v);
+  return snap != nullptr ? snap->depth(v) : -1;
+}
+
+std::int32_t RouterView::subtree_size(Vertex v) const {
+  const SnapshotPtr snap = snapshot_of(v);
+  return snap != nullptr ? snap->subtree_size(v) : 0;
+}
+
+bool RouterView::is_ancestor(Vertex a, Vertex d) const {
+  const int sa = router_->shard_of(a);
+  const int sd = router_->shard_of(d);
+  // Different shards own different components: no ancestry across them.
+  if (sa < 0 || sa != sd) return false;
+  return router_->shard_snapshot(static_cast<std::size_t>(sa))
+      ->is_ancestor(a, d);
+}
+
+Vertex RouterView::lca(Vertex u, Vertex v) const {
+  const int su = router_->shard_of(u);
+  const int sv = router_->shard_of(v);
+  if (su < 0 || su != sv) return kNullVertex;
+  return router_->shard_snapshot(static_cast<std::size_t>(su))->lca(u, v);
+}
+
+bool RouterView::same_component(Vertex u, Vertex v) const {
+  const int su = router_->shard_of(u);
+  const int sv = router_->shard_of(v);
+  if (su < 0 || su != sv) return false;
+  return router_->shard_snapshot(static_cast<std::size_t>(su))
+      ->same_component(u, v);
+}
+
+std::vector<Vertex> RouterView::path_to_root(Vertex v) const {
+  const SnapshotPtr snap = snapshot_of(v);
+  return snap != nullptr ? snap->path_to_root(v) : std::vector<Vertex>{};
+}
+
+bool RouterView::is_articulation(Vertex v) const {
+  const SnapshotPtr snap = snapshot_of(v);
+  return snap != nullptr && snap->is_articulation(v);
+}
+
+bool RouterView::is_bridge(Vertex u, Vertex v) const {
+  const int su = router_->shard_of(u);
+  const int sv = router_->shard_of(v);
+  if (su < 0 || su != sv) return false;
+  return router_->shard_snapshot(static_cast<std::size_t>(su))->is_bridge(u, v);
+}
+
+std::vector<Edge> RouterView::bridges() const {
+  std::vector<Edge> out;
+  for (std::size_t s = 0; s < router_->num_shards(); ++s) {
+    const auto span = router_->shard_snapshot(s)->bridges();
+    out.insert(out.end(), span.begin(), span.end());
+  }
+  return out;
+}
+
+}  // namespace pardfs::service

@@ -1,0 +1,237 @@
+// Component-sharded serving layer: S independent writer stacks behind one
+// vertex -> shard directory (DESIGN.md §12).
+//
+// The paper's forest decomposes into per-component trees that never interact
+// except when an update joins two components. The router exploits exactly
+// that: vertices are partitioned by connected component across S shards, each
+// shard running the full single-writer stack of dfs_service.hpp — its own
+// UpdateQueue, its own DynamicDfs over a full-id-space graph in which it owns
+// whole components (every other id is a dead hole), and its own RCU snapshot.
+// Readers resolve the owning shard from the directory and load that shard's
+// snapshot — one extra atomic load versus the unsharded service, no global
+// epoch, no cross-shard stalls. Intra-shard updates take the single-writer
+// path untouched.
+//
+// Cross-shard edge inserts (and vertex inserts whose neighbors span shards)
+// go through the two-shard merge protocol: the op is queued on the *gateway*
+// shard (the smallest endpoint shard at submit time), whose writer acquires
+// the involved shards' engine locks in ascending shard-id order, re-verifies
+// the directory (an entry pointing at a shard can only change under that
+// shard's engine lock, so verification under the locks is stable), migrates
+// the smaller component into the winning shard by verbatim row transplant
+// (DynamicDfs::extract_component / adopt_component), and publishes in the
+// order winner -> directory flip -> loser so readers never observe a miss
+// window. Forest determinism: a component's adjacency rows — and therefore
+// its DFS tree — evolve identically whether it lives in one shard or
+// another, so the assembled forest is byte-identical at any shard count.
+//
+// Deadlock freedom: engine locks are only ever acquired in ascending
+// shard-id order while holding no other engine lock; the global id lock
+// (vertex-insert id assignment) is strictly innermost; the control lock
+// (pause/stats) is never held across an engine lock.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dynamic_dfs.hpp"
+#include "service/snapshot.hpp"
+#include "service/update_queue.hpp"
+
+namespace pardfs::service {
+
+class ShardRouter;
+
+struct ServiceConfig {
+  std::size_t queue_capacity = 4096;
+  // Coalescing cap per drain; 0 = the core's epoch period (Θ(log n), the
+  // largest batch the Theorem 9 patch budget absorbs in one segment).
+  std::size_t max_batch = 0;
+  RerootStrategy strategy = RerootStrategy::kPaper;
+  // Worker-team cap for the rerooting engine's parallel rounds (0 = the pram
+  // facade default). Purely a wall-clock knob: the served forest is
+  // identical at any value.
+  int num_threads = 0;
+  // Start with the writers paused (updates queue up; nothing applies until
+  // resume()). Lets tests and benchmarks pin coalescing deterministically.
+  bool start_paused = false;
+  // Compute core/articulation's CutStructure at every publish so snapshots
+  // answer articulation / bridge queries (the dynamic_map workload's client
+  // vocabulary). Costs one O(m + n) low-link pass per published batch —
+  // off by default so update-heavy deployments don't pay it.
+  bool serve_cuts = false;
+  // Component-partitioned shards, one writer stack each (clamped to >= 1).
+  // 1 = the exact unsharded behavior, including the legacy unlabeled metric
+  // series; > 1 labels the service series with shard="<id>".
+  std::size_t num_shards = 1;
+};
+
+struct ServiceStats {
+  std::uint64_t batches = 0;             // apply_batch calls
+  std::uint64_t updates_applied = 0;     // accepted updates
+  std::uint64_t updates_rejected = 0;    // infeasible at drain time
+  std::uint64_t snapshots_published = 0; // excludes the constructor's
+  std::uint64_t max_batch = 0;           // largest coalesced batch so far
+  std::uint64_t structural = 0;          // accepted structural updates
+  std::uint64_t back_edges = 0;          // accepted patch-only updates
+  std::uint64_t segments = 0;            // combined engine passes
+  std::uint64_t index_rebuilds = 0;      // O(n) rebuilds across all batches
+  std::uint64_t base_rebuilds = 0;       // epoch rebases across all batches
+  // kRejected acks by reason. `rejected_infeasible` == updates_rejected (the
+  // historical drain-time meaning); `rejected_shutdown` counts submits that
+  // lost the race against stop() and were pre-rejected by the queue — those
+  // never reach a writer, so they are NOT part of updates_rejected.
+  std::uint64_t rejected_infeasible = 0;
+  std::uint64_t rejected_shutdown = 0;
+  // Sharding: components migrated between shards, and cross-shard inserts
+  // that went through the merge protocol. Always zero at num_shards == 1.
+  std::uint64_t shard_migrations = 0;
+  std::uint64_t cross_shard_inserts = 0;
+};
+
+// Reader-side handle: resolves the owning shard per query and answers from
+// that shard's current snapshot. All queries are total, like DfsSnapshot's.
+// Two-vertex queries across shards answer the component-disjoint defaults
+// (different shards own different components by construction): reachable /
+// same_component / is_ancestor / is_bridge -> false, lca -> kNullVertex.
+// Each query reads the owner's snapshot at its own resolve time, so a
+// multi-query read is not one consistent global cut — per-shard reads are.
+// The router must outlive every view.
+class RouterView {
+ public:
+  bool contains(Vertex v) const;
+  Vertex parent_of(Vertex v) const;
+  Vertex root_of(Vertex v) const;
+  std::int32_t depth(Vertex v) const;
+  std::int32_t subtree_size(Vertex v) const;
+  bool is_ancestor(Vertex a, Vertex d) const;
+  Vertex lca(Vertex u, Vertex v) const;
+  bool same_component(Vertex u, Vertex v) const;
+  bool reachable(Vertex u, Vertex v) const { return same_component(u, v); }
+  std::vector<Vertex> path_to_root(Vertex v) const;
+  bool is_articulation(Vertex v) const;
+  bool is_bridge(Vertex u, Vertex v) const;
+  // Bridges of every shard's current snapshot, concatenated in shard order.
+  std::vector<Edge> bridges() const;
+
+  // The owning shard's current snapshot (nullptr for ids the directory has
+  // never seen). One directory load + one snapshot load.
+  SnapshotPtr snapshot_of(Vertex v) const;
+
+ private:
+  friend class ShardRouter;
+  explicit RouterView(const ShardRouter* router) : router_(router) {}
+  const ShardRouter* router_;
+};
+
+class ShardRouter {
+ public:
+  // Partitions `initial`'s components across config.num_shards stacks
+  // (round-robin over components in ascending root id), publishes every
+  // shard's initial snapshot, then starts the writers.
+  explicit ShardRouter(Graph initial, ServiceConfig config = {});
+  ~ShardRouter();
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  // ---- reader side ---------------------------------------------------------
+  RouterView view() const { return RouterView(this); }
+  // The shard currently owning v: -1 if the id was never assigned. Entries
+  // persist after a vertex dies (pointing at the shard where it died), so
+  // totality of snapshot queries is preserved.
+  int shard_of(Vertex v) const;
+  SnapshotPtr shard_snapshot(std::size_t shard) const;
+
+  // ---- producer side -------------------------------------------------------
+  // Routed to the owning shard's queue (cross-shard ops to the gateway =
+  // smallest involved shard; the gateway writer runs the merge protocol).
+  // Blocks while that queue is full. Acks carry the publishing version of
+  // the shard that applied the update — versions are per shard.
+  UpdateTicket submit(GraphUpdate update);
+  bool try_submit(GraphUpdate update, UpdateTicket* ticket);
+  std::uint64_t apply_sync(GraphUpdate update);
+
+  // ---- lifecycle (all shards) ----------------------------------------------
+  void pause();
+  void resume();
+  void stop();
+
+  // ---- stats / introspection -----------------------------------------------
+  std::size_t num_shards() const { return shards_.size(); }
+  ServiceStats stats() const;                    // summed across shards
+  ServiceStats shard_stats(std::size_t shard) const;
+  std::size_t queue_depth() const;               // summed across shards
+  std::size_t queue_depth(std::size_t shard) const;
+  // The global id space (next id a vertex insert would get).
+  Vertex capacity() const;
+  Vertex num_vertices() const;     // summed over current shard snapshots
+  std::int64_t num_edges() const;  // summed over current shard snapshots
+
+  // Whole-forest reads assembled from the current shard snapshots, indexed
+  // by global id (kNullVertex / 0 for unassigned ids). Only meaningful when
+  // the router is quiescent (no in-flight updates); tests use them to
+  // compare against a single-shard run byte for byte.
+  std::vector<Vertex> assemble_parent() const;
+  std::vector<std::uint8_t> assemble_alive() const;
+
+  std::string metrics_text() const;
+  std::string metrics_json() const;
+
+  // A shard's engine — owned by its writer while the router runs; only safe
+  // to inspect after stop().
+  const DynamicDfs& core(std::size_t shard) const;
+
+ private:
+  struct Shard;
+  // Lock-free chunked vertex -> shard directory. Readers load two acquire
+  // atomics; mutations happen only under the owning shard's engine lock (or
+  // the id lock for brand-new ids), which is what makes the merge protocol's
+  // verify-after-lock stable.
+  class Directory;
+
+  void writer_loop(Shard& sh);
+  // The shard whose queue carries this op (see submit()).
+  std::size_t route(const GraphUpdate& u) const;
+  // True when every endpoint the op references resolves to `sh` (or to no
+  // shard at all — those reject through feasibility exactly like the
+  // unsharded service). Stable while sh's engine lock is held.
+  bool is_local(const Shard& sh, const GraphUpdate& u) const;
+  // Applies a run of ops local to `target` as one batch: the ported
+  // single-writer path (feasibility filter, apply_batch, publish, acks).
+  // Caller holds target.mu; acks are attributed to `gateway`'s series.
+  void apply_run_locked(Shard& target, Shard& gateway,
+                        std::vector<PendingUpdate*>& run);
+  // Cross-shard / migrated-component ops: resolve -> lock ascending ->
+  // verify -> merge or apply remotely (see the header comment).
+  void process_special(Shard& sh, PendingUpdate& p);
+  // Publishes sh's current engine state. Caller holds sh.mu.
+  void publish(Shard& sh, bool forest_unchanged);
+
+  struct BatchDelta;
+  bool feasible(const Shard& sh, const GraphUpdate& u, BatchDelta& delta) const;
+
+  ServiceConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<Directory> directory_;
+
+  // Global id space: vertex inserts on any shard assign from here so ids
+  // stay unique (and identical to a single-shard run). Innermost lock.
+  mutable std::mutex id_mu_;
+  Vertex global_next_ = 0;
+  // Round-robin spreading of isolated vertex inserts (routing only: the
+  // forest is placement-independent).
+  mutable std::atomic<std::uint64_t> isolated_rr_{0};
+
+  mutable std::mutex control_mu_;  // pause flag + stats; never held across engine locks
+  std::condition_variable control_cv_;
+  bool paused_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace pardfs::service

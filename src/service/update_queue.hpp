@@ -30,6 +30,7 @@ namespace pardfs::service {
 
 class UpdateQueue;
 class DfsService;
+class ShardRouter;
 
 class UpdateTicket {
  public:
@@ -57,6 +58,7 @@ class UpdateTicket {
  private:
   friend class UpdateQueue;
   friend class DfsService;
+  friend class ShardRouter;
   struct State {
     std::atomic<std::uint64_t> result{0};  // 0 = pending
     std::atomic<Vertex> vertex{kNullVertex};

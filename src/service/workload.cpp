@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "service/shard_router.hpp"
 #include "util/check.hpp"
 
 namespace pardfs::service {
@@ -174,6 +175,28 @@ GraphUpdate WorkloadDriver::next_dynamic_map() {
     --blocked_;
     return GraphUpdate::insert_vertex(std::move(nbrs));
   }
+}
+
+std::uint64_t run_read_session(const ShardRouter& router, Rng& rng, int queries,
+                               std::vector<std::uint64_t>* per_shard_queries) {
+  const Vertex cap = router.capacity();
+  if (cap <= 0) return 0;
+  const RouterView view = router.view();
+  std::uint64_t sink = 0;
+  for (int q = 0; q < queries; ++q) {
+    const Vertex u = static_cast<Vertex>(rng.below(static_cast<std::uint64_t>(cap)));
+    const Vertex v = static_cast<Vertex>(rng.below(static_cast<std::uint64_t>(cap)));
+    sink += static_cast<std::uint64_t>(view.root_of(u));
+    sink += static_cast<std::uint64_t>(view.depth(u));
+    sink += view.same_component(u, v) ? 1 : 0;
+    if (per_shard_queries != nullptr) {
+      const int s = router.shard_of(u);
+      if (s >= 0 && static_cast<std::size_t>(s) < per_shard_queries->size()) {
+        ++(*per_shard_queries)[static_cast<std::size_t>(s)];
+      }
+    }
+  }
+  return sink;
 }
 
 }  // namespace pardfs::service

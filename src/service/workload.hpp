@@ -58,6 +58,20 @@ struct WorkloadSpec {
 
 Graph make_initial_graph(const WorkloadSpec& spec);
 
+class ShardRouter;
+
+// One simulated client read session against a sharded router: every query
+// resolves its owning shard through the view (the serving pattern the router
+// optimizes — one directory load + one snapshot load per resolve) and asks a
+// root / depth / same-component probe over random ids below the router's
+// current capacity. Returns a fold over the answers so callers can
+// DoNotOptimize it; when `per_shard_queries` is non-null (sized num_shards)
+// it accumulates how many of the session's queries landed on each shard
+// (ids the directory has never seen count nowhere). Deterministic per rng
+// state modulo concurrent ownership migration.
+std::uint64_t run_read_session(const ShardRouter& router, Rng& rng, int queries,
+                               std::vector<std::uint64_t>* per_shard_queries);
+
 class WorkloadDriver {
  public:
   explicit WorkloadDriver(WorkloadSpec spec);

@@ -32,7 +32,12 @@ const char* family_name(FuzzFamily f) {
 }
 
 const char* entry_name(FuzzEntry e) {
-  return e == FuzzEntry::kCore ? "core" : "service";
+  switch (e) {
+    case FuzzEntry::kCore: return "core";
+    case FuzzEntry::kService: return "service";
+    case FuzzEntry::kSharded: return "sharded";
+  }
+  return "unknown";
 }
 
 bool parse_family(std::string_view name, FuzzFamily& out) {
@@ -47,7 +52,8 @@ bool parse_family(std::string_view name, FuzzFamily& out) {
 }
 
 bool parse_entry(std::string_view name, FuzzEntry& out) {
-  for (const FuzzEntry e : {FuzzEntry::kCore, FuzzEntry::kService}) {
+  for (const FuzzEntry e :
+       {FuzzEntry::kCore, FuzzEntry::kService, FuzzEntry::kSharded}) {
     if (name == entry_name(e)) {
       out = e;
       return true;
@@ -64,6 +70,9 @@ std::string replay_line(const FuzzOptions& o) {
   line += " --batches=" + std::to_string(o.batches);
   line += " --max-batch=" + std::to_string(o.max_batch);
   line += " --threads=" + std::to_string(o.num_threads);
+  if (o.entry == FuzzEntry::kSharded) {
+    line += " --shards=" + std::to_string(o.num_shards);
+  }
   if (o.corrupt_at >= 0) line += " --corrupt-at=" + std::to_string(o.corrupt_at);
   if (o.force_scalar) line += " --force-scalar";
   return line;
@@ -466,6 +475,140 @@ class ServiceEngine final : public Engine {
   service::SnapshotPtr snap_;
 };
 
+// S-shard router in lock-step with a 1-shard reference. Every update applies
+// synchronously to both stacks (apply order = stream order — the serialized
+// regime under which the router guarantees shard-count invariance), then the
+// assembled sharded forest is compared to the unsharded snapshot byte for
+// byte. Queries answer through RouterView, so the directory-resolve path and
+// the cross-shard totality defaults are under test too.
+class ShardedEngine final : public Engine {
+ public:
+  ShardedEngine(Graph initial, const FuzzOptions& o)
+      : router_(initial, make_config(o, std::max(o.num_shards, 1))),
+        ref_(std::move(initial), make_config(o, 1)) {
+    ref_snap_ = ref_.snapshot();
+  }
+  ~ShardedEngine() override {
+    router_.stop();
+    ref_.stop();
+  }
+
+  bool apply(const std::vector<GeneratedUpdate>& batch, std::string* err) override {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const GeneratedUpdate& g = batch[i];
+      service::UpdateTicket st = router_.submit(g.update);
+      const std::uint64_t sv = st.wait();
+      service::UpdateTicket rt = ref_.submit(g.update);
+      const std::uint64_t rv = rt.wait();
+      const bool s_rej = sv == service::UpdateTicket::kRejected;
+      const bool r_rej = rv == service::UpdateTicket::kRejected;
+      if (s_rej != r_rej) {
+        *err = "accept/reject divergence at update " + std::to_string(i) +
+               ": sharded " + (s_rej ? "rejected" : "accepted") +
+               ", reference " + (r_rej ? "rejected" : "accepted");
+        return false;
+      }
+      if (s_rej) {
+        *err = "both stacks rejected feasible update " + std::to_string(i) +
+               " (mirror-contract violation)";
+        return false;
+      }
+      if (g.update.kind == GraphUpdate::Kind::kInsertVertex &&
+          (st.assigned_vertex() != g.expected_vertex ||
+           rt.assigned_vertex() != g.expected_vertex)) {
+        *err = "vertex-id divergence: sharded assigned " +
+               std::to_string(st.assigned_vertex()) + ", reference " +
+               std::to_string(rt.assigned_vertex()) + ", mirror " +
+               std::to_string(g.expected_vertex);
+        return false;
+      }
+    }
+    // The differential: byte-identical forests at S shards and 1 shard.
+    ref_snap_ = ref_.snapshot();
+    const std::vector<Vertex> sharded = router_.assemble_parent();
+    const std::vector<std::uint8_t> alive = router_.assemble_alive();
+    const auto ref_parent = ref_snap_->parent();
+    if (sharded.size() != ref_parent.size()) {
+      *err = "assembled capacity " + std::to_string(sharded.size()) +
+             " differs from reference " + std::to_string(ref_parent.size());
+      return false;
+    }
+    for (std::size_t v = 0; v < sharded.size(); ++v) {
+      if (sharded[v] != ref_parent[v]) {
+        *err = "parent(" + std::to_string(v) + ") = " +
+               std::to_string(sharded[v]) + " at " +
+               std::to_string(router_.num_shards()) + " shards, " +
+               std::to_string(ref_parent[v]) + " at 1 shard";
+        return false;
+      }
+      const bool ref_alive = ref_snap_->contains(static_cast<Vertex>(v));
+      if ((alive[v] != 0) != ref_alive) {
+        *err = "alive(" + std::to_string(v) + ") diverges from the reference";
+        return false;
+      }
+    }
+    if (router_.num_vertices() != ref_snap_->num_vertices() ||
+        router_.num_edges() != ref_snap_->num_edges()) {
+      *err = "vertex/edge totals diverge from the 1-shard reference";
+      return false;
+    }
+    for (std::size_t s = 0; s < router_.num_shards(); ++s) {
+      if (!router_.shard_snapshot(s)->serves_cuts()) {
+        *err = "shard " + std::to_string(s) +
+               " snapshot lost its cut structure despite serve_cuts";
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::vector<Vertex> parent_copy() const override {
+    return router_.assemble_parent();
+  }
+  Vertex num_vertices() const override { return router_.num_vertices(); }
+  std::int64_t num_edges() const override { return router_.num_edges(); }
+
+  bool total() const override { return true; }
+  Vertex q_parent(Vertex v) const override { return router_.view().parent_of(v); }
+  Vertex q_root(Vertex v) const override { return router_.view().root_of(v); }
+  std::int32_t q_depth(Vertex v) const override { return router_.view().depth(v); }
+  bool q_ancestor(Vertex a, Vertex d) const override {
+    return router_.view().is_ancestor(a, d);
+  }
+  Vertex q_lca(Vertex u, Vertex v) const override {
+    return router_.view().lca(u, v);
+  }
+  bool q_reachable(Vertex u, Vertex v) const override {
+    return router_.view().reachable(u, v);
+  }
+  std::vector<Vertex> q_path_to_root(Vertex v) const override {
+    return router_.view().path_to_root(v);
+  }
+  bool q_articulation(Vertex v) const override {
+    return router_.view().is_articulation(v);
+  }
+  bool q_bridge(Vertex u, Vertex v) const override {
+    return router_.view().is_bridge(u, v);
+  }
+  std::vector<Edge> q_bridges() const override { return router_.view().bridges(); }
+
+ private:
+  static service::ServiceConfig make_config(const FuzzOptions& o,
+                                            int num_shards) {
+    service::ServiceConfig config;
+    config.queue_capacity = static_cast<std::size_t>(std::max(o.max_batch, 1)) + 8;
+    config.max_batch = 1;
+    config.num_threads = o.num_threads;
+    config.serve_cuts = true;
+    config.num_shards = static_cast<std::size_t>(num_shards);
+    return config;
+  }
+
+  service::ShardRouter router_;
+  service::DfsService ref_;
+  service::SnapshotPtr ref_snap_;
+};
+
 // ---- the per-batch oracle --------------------------------------------------
 
 // Flips one parent entry so the forest stops being a DFS forest — the debug
@@ -672,8 +815,10 @@ FuzzResult run_fuzz(const FuzzOptions& options_in) {
   std::unique_ptr<Engine> engine;
   if (options.entry == FuzzEntry::kCore) {
     engine = std::make_unique<CoreEngine>(std::move(initial), options.num_threads);
-  } else {
+  } else if (options.entry == FuzzEntry::kService) {
     engine = std::make_unique<ServiceEngine>(std::move(initial), options);
+  } else {
+    engine = std::make_unique<ShardedEngine>(std::move(initial), options);
   }
 
   // Batch sizes and query samples come from their own deterministic stream,
@@ -713,7 +858,8 @@ FuzzResult run_soak(std::uint64_t seed_base, int seeds, int batches, Vertex n,
     for (const FuzzFamily family :
          {FuzzFamily::kRandom, FuzzFamily::kPowerLaw, FuzzFamily::kGrid,
           FuzzFamily::kDynamicMap}) {
-      for (const FuzzEntry entry : {FuzzEntry::kCore, FuzzEntry::kService}) {
+      for (const FuzzEntry entry : {FuzzEntry::kCore, FuzzEntry::kService,
+                                    FuzzEntry::kSharded}) {
         FuzzOptions o;
         o.seed = seed_base + static_cast<std::uint64_t>(s);
         o.family = family;

@@ -6,7 +6,12 @@
 // points:
 //   * core    — DynamicDfs::apply_batch with combined k-update batches;
 //   * service — the full DfsService writer/snapshot path (paused-writer
-//               protocol, per-update drain so replay is exact).
+//               protocol, per-update drain so replay is exact);
+//   * sharded — a num_shards ShardRouter in lock-step with a 1-shard
+//               reference: every update applies synchronously to both, and
+//               the assembled sharded forest must equal the unsharded
+//               snapshot byte for byte after every batch (the shard-count
+//               invariance contract of service/shard_router.hpp).
 // After every batch the harness re-checks the invariants that define the
 // algorithm (arXiv:1502.02481's valid-DFS-forest + total-query semantics):
 //   1. tree/validation::validate_dfs_forest against a *mirror* graph the
@@ -40,7 +45,7 @@ enum class FuzzFamily : std::uint8_t {
   kDynamicMap,  // service::WorkloadDriver dynamic_map obstacle churn
 };
 
-enum class FuzzEntry : std::uint8_t { kCore, kService };
+enum class FuzzEntry : std::uint8_t { kCore, kService, kSharded };
 
 const char* family_name(FuzzFamily f);
 const char* entry_name(FuzzEntry e);
@@ -57,6 +62,9 @@ struct FuzzOptions {
   int queries_per_batch = 24;  // sampled tree/snapshot queries per batch
   int cut_checks_per_batch = 3;  // brute-force articulation/bridge samples
   int num_threads = 0;         // engine worker-team cap (0 = facade default)
+  // Shard count for the sharded entry (ignored by core/service). The run
+  // drives this many shards against a 1-shard reference differentially.
+  int num_shards = 4;
   // Debug hook: corrupt the checked parent array before the checks of this
   // batch index (-1 = never). The run must FAIL with a replay line.
   int corrupt_at = -1;
@@ -89,8 +97,8 @@ struct FuzzResult {
 FuzzResult run_fuzz(const FuzzOptions& options);
 
 // The CI soak matrix: `seeds` consecutive seeds starting at seed_base, over
-// every family in {random, power_law, grid, dynamic_map} and both entry
-// points, `batches` batches each. Stops at the first failure (its result is
+// every family in {random, power_law, grid, dynamic_map} and all three entry
+// points (core, service, sharded), `batches` batches each. Stops at the first failure (its result is
 // returned); otherwise returns an ok result with the accumulated totals.
 FuzzResult run_soak(std::uint64_t seed_base, int seeds, int batches, Vertex n,
                     int num_threads = 0, bool force_scalar = false);

@@ -107,8 +107,8 @@ TEST(Fuzz, SoakMatrixAccumulatesAcrossCells) {
   const FuzzResult r = run_soak(/*seed_base=*/100, /*seeds=*/1, /*batches=*/4,
                                 /*n=*/32);
   ASSERT_TRUE(r.ok) << r.failure << "\nreplay: " << r.replay;
-  // 1 seed x 4 families x 2 entries x 4 batches.
-  EXPECT_EQ(r.batches, 32u);
+  // 1 seed x 4 families x 3 entries (core, service, sharded) x 4 batches.
+  EXPECT_EQ(r.batches, 48u);
 }
 
 TEST(Fuzz, NamesRoundTrip) {
@@ -118,7 +118,8 @@ TEST(Fuzz, NamesRoundTrip) {
     ASSERT_TRUE(parse_family(family_name(f), parsed));
     EXPECT_EQ(parsed, f);
   }
-  for (const FuzzEntry e : {FuzzEntry::kCore, FuzzEntry::kService}) {
+  for (const FuzzEntry e :
+       {FuzzEntry::kCore, FuzzEntry::kService, FuzzEntry::kSharded}) {
     FuzzEntry parsed;
     ASSERT_TRUE(parse_entry(entry_name(e), parsed));
     EXPECT_EQ(parsed, e);

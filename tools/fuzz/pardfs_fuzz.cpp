@@ -3,8 +3,11 @@
 //
 // Modes:
 //   * single run (default):    pardfs_fuzz --seed=7 --scenario=grid --entry=service
+//   * sharded differential:    pardfs_fuzz --entry=sharded --shards=8
+//       (S-shard router vs 1-shard reference, byte-compared every batch)
 //   * fixed soak matrix:       pardfs_fuzz --soak=8 --batches=16
-//       (8 seeds x {random, power_law, grid, dynamic_map} x {core, service})
+//       (8 seeds x {random, power_law, grid, dynamic_map}
+//                x {core, service, sharded})
 //   * time-budgeted CI soak:   pardfs_fuzz --minutes=5
 //       (keeps sweeping the matrix with fresh seeds until the budget runs out)
 //
@@ -39,9 +42,9 @@ void usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--seed=U64] [--scenario=random|power_law|grid|dynamic_map]\n"
-      "          [--entry=core|service] [--n=N] [--batches=B] [--max-batch=K]\n"
-      "          [--threads=T] [--corrupt-at=B] [--soak=SEEDS] [--minutes=M]\n"
-      "          [--force-scalar]\n",
+      "          [--entry=core|service|sharded] [--n=N] [--batches=B]\n"
+      "          [--max-batch=K] [--threads=T] [--shards=S] [--corrupt-at=B]\n"
+      "          [--soak=SEEDS] [--minutes=M] [--force-scalar]\n",
       argv0);
 }
 
@@ -83,6 +86,10 @@ bool parse_arg(std::string_view arg, CliOptions& cli) {
   if (value_of("--threads", v)) {
     cli.fuzz.num_threads = std::atoi(std::string(v).c_str());
     return cli.fuzz.num_threads >= 0;
+  }
+  if (value_of("--shards", v)) {
+    cli.fuzz.num_shards = std::atoi(std::string(v).c_str());
+    return cli.fuzz.num_shards > 0;
   }
   if (value_of("--corrupt-at", v)) {
     cli.fuzz.corrupt_at = std::atoi(std::string(v).c_str());

@@ -1,10 +1,15 @@
-// pardfs_stat — run a workload scenario against DfsService and print (or
+// pardfs_stat — run a workload scenario against the serving stack (a
+// ShardRouter; --shards=1 is the exact DfsService behavior) and print (or
 // periodically re-print) the obs registry, as Prometheus exposition text or
-// JSON; optionally dump the phase trace as chrome://tracing JSON.
+// JSON; optionally dump the phase trace as chrome://tracing JSON. At the end
+// a per-shard table (vertices, edges, version, updates, batches, queue
+// depth) goes to stderr so it never pollutes the scrape-format stdout.
 //
 //   pardfs_stat [--scenario=read_heavy|insert_churn|adversarial_star|
 //                           social_mix|dynamic_map]
 //               [--n=4096] [--seed=42] [--updates=2000] [--threads=0]
+//               [--shards=1]           component-partitioned shards; > 1
+//                                      labels the service series shard="i"
 //               [--watch-ms=0]        re-print the registry every N ms while
 //                                     the workload runs (0 = once, at the end)
 //               [--format=prom|json]
@@ -27,7 +32,7 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "service/dfs_service.hpp"
+#include "service/shard_router.hpp"
 #include "service/workload.hpp"
 
 namespace {
@@ -41,6 +46,7 @@ struct Options {
   std::uint64_t seed = 42;
   std::uint64_t updates = 2000;
   int threads = 0;
+  std::size_t shards = 1;
   std::uint64_t watch_ms = 0;
   bool json = false;
   std::string trace_out;
@@ -84,6 +90,9 @@ Options parse(int argc, char** argv) {
       o.updates = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value("--threads=")) {
       o.threads = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (const char* v = value("--shards=")) {
+      o.shards = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+      if (o.shards == 0) usage_error(a);
     } else if (const char* v = value("--watch-ms=")) {
       o.watch_ms = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value("--format=")) {
@@ -103,10 +112,36 @@ Options parse(int argc, char** argv) {
   return o;
 }
 
-void print_registry(const DfsService& svc, bool json) {
-  const std::string page = json ? svc.metrics_json() : svc.metrics_text();
+void print_registry(const ShardRouter& router, bool json) {
+  const std::string page = json ? router.metrics_json() : router.metrics_text();
   std::fwrite(page.data(), 1, page.size(), stdout);
   std::fflush(stdout);
+}
+
+// The per-shard table: one row per writer stack, from the current snapshots
+// and per-shard stats. Goes to stderr so stdout stays scrape-clean.
+void print_shard_table(const ShardRouter& router) {
+  std::fprintf(stderr,
+               "shard  vertices     edges   version   updates   batches  queue\n");
+  for (std::size_t s = 0; s < router.num_shards(); ++s) {
+    const SnapshotPtr snap = router.shard_snapshot(s);
+    const ServiceStats st = router.shard_stats(s);
+    std::fprintf(stderr, "%5zu  %8lld  %8lld  %8llu  %8llu  %8llu  %5zu\n", s,
+                 static_cast<long long>(snap->num_vertices()),
+                 static_cast<long long>(snap->num_edges()),
+                 static_cast<unsigned long long>(snap->version()),
+                 static_cast<unsigned long long>(st.updates_applied),
+                 static_cast<unsigned long long>(st.batches),
+                 router.queue_depth(s));
+  }
+  const ServiceStats total = router.stats();
+  std::fprintf(stderr,
+               "total  %8lld  %8lld  cross-shard inserts: %llu, migrations: "
+               "%llu\n",
+               static_cast<long long>(router.num_vertices()),
+               static_cast<long long>(router.num_edges()),
+               static_cast<unsigned long long>(total.cross_shard_inserts),
+               static_cast<unsigned long long>(total.shard_migrations));
 }
 
 }  // namespace
@@ -119,8 +154,9 @@ int main(int argc, char** argv) {
   const WorkloadSpec spec{o.scenario, o.n, o.seed};
   ServiceConfig config;
   config.num_threads = o.threads;
+  config.num_shards = o.shards;
   config.serve_cuts = o.scenario == Scenario::kDynamicMap;
-  DfsService svc(make_initial_graph(spec), config);
+  ShardRouter svc(make_initial_graph(spec), config);
 
   // One producer streams the scenario; the main thread is the watcher.
   std::thread producer([&] {
@@ -146,6 +182,7 @@ int main(int argc, char** argv) {
   svc.stop();
 
   print_registry(svc, o.json);
+  print_shard_table(svc);
   if (!o.trace_out.empty()) {
     std::ofstream out(o.trace_out);
     if (!out) {
