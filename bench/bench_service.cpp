@@ -12,6 +12,7 @@
 // run_bench.sh emits this binary's JSON as BENCH_service.json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <fstream>
@@ -393,6 +394,84 @@ void BM_ShardedClientSessions(benchmark::State& state) {
 }
 BENCHMARK(BM_ShardedClientSessions)
     ->Args({16, 100000})->Iterations(1)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// E18 — failover cost (EXPERIMENTS.md): kill shard writers mid-stream and
+// compare the journal-replay recovery latency (the registry's
+// pardfs_recovery_latency_us histogram, recorded by the watchdog) against
+// the steady-state batch cycle, timed client-side. Kills run first, while
+// journals are short: replay cost is proportional to the recorded history,
+// so this measures the supervision overhead (detect, join, replay,
+// republish, respawn), not an unbounded log rewind. The steady-state sample
+// is one pipelined 64-update burst — the canonical client window (cf.
+// BM_ServiceScenarioMix), which the writers coalesce into batches — so the
+// gate reads as "a failover stalls its shard for less than 10 steady batch
+// cycles". Arg = shards. bench/check_recovery.py pins
+// p99(recovery) < 10 x p99(steady batch).
+void BM_ShardRecovery(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const Vertex n = 1 << 15;
+  constexpr Vertex kBlock = 256;
+  ServiceConfig config;
+  config.num_shards = shards;
+  config.watchdog_poll_ms = 1;
+  constexpr int kKills = 24;
+  constexpr int kBursts = 64;
+  constexpr int kBurst = 64;
+  std::vector<double> batch_us;
+  batch_us.reserve(kBursts);
+  std::uint64_t recoveries = 0;
+  obs::Registry::global().reset();  // scope the recovery histogram to this run
+  for (auto _ : state) {
+    ShardRouter router(sharded_bench_graph(n, kBlock), config);
+    Rng rng(1717);
+    // Failover phase: poison the shard that owns the next update, then drive
+    // that update to a definitive ack through the client retry loop — which
+    // only lands after the watchdog's journal replay respawned the writer.
+    for (int k = 0; k < kKills; ++k) {
+      const GraphUpdate u = intra_block_flip(rng, n, kBlock);
+      const int s = router.shard_of(u.u);
+      if (s < 0) continue;
+      router.inject_writer_failure(static_cast<std::size_t>(s));
+      (void)submit_with_retry(router, u);
+    }
+    // Steady state: pipelined bursts on the recovered writers. Each sample is
+    // one burst's turnaround (submit the window, wait for every ack).
+    for (int b = 0; b < kBursts; ++b) {
+      std::vector<UpdateTicket> tickets;
+      tickets.reserve(kBurst);
+      const std::uint64_t t0 = obs::now_ns();
+      for (int i = 0; i < kBurst; ++i) {
+        UpdateTicket t;
+        if (router.try_submit(intra_block_flip(rng, n, kBlock), &t)) {
+          tickets.push_back(t);
+        }
+      }
+      for (const UpdateTicket& t : tickets) (void)t.wait();
+      batch_us.push_back(static_cast<double>(obs::now_ns() - t0) * 1e-3);
+    }
+    recoveries += router.stats().recoveries;
+    router.stop();
+  }
+  std::sort(batch_us.begin(), batch_us.end());
+  const auto pct = [&](double q) {
+    if (batch_us.empty()) return 0.0;
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(batch_us.size() - 1));
+    return batch_us[idx];
+  };
+  const obs::HistogramSnapshot rec =
+      obs::Registry::global()
+          .histogram("pardfs_recovery_latency_us", "", 1e-3)
+          .snapshot();
+  state.counters["recoveries"] = static_cast<double>(recoveries);
+  state.counters["recovery_p50_us"] = rec.p50;
+  state.counters["recovery_p99_us"] = rec.p99;
+  state.counters["steady_batch_p50_us"] = pct(0.50);
+  state.counters["steady_batch_p99_us"] = pct(0.99);
+  state.counters["shards"] = static_cast<double>(shards);
+}
+BENCHMARK(BM_ShardRecovery)->Arg(1)->Arg(4)->Iterations(1)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Bench-smoke recovery guard: fail if failover stops being cheap.
+
+Reads a google-benchmark JSON file (BENCH_service.json) and asserts that
+BM_ShardRecovery's p99 journal-replay recovery latency stays below
+--max-ratio times its own steady-state batch-cycle p99 at the same shard
+count (n = 2^15; see EXPERIMENTS.md E18). Recovery is detect + join +
+replay + republish + respawn; a batch cycle is the turnaround of one
+pipelined 64-update client burst, so the gate reads "a failover stalls its
+shard for less than 10 steady batch cycles". If that drifts toward "an
+outage", this guard trips before a client notices.
+
+The counters come straight from the benchmark: recovery_p99_us is the
+registry's pardfs_recovery_latency_us histogram, steady_batch_p99_us is
+timed client-side around each burst. A run that injected no recoveries
+(counter zero) is a configuration bug and fails loudly.
+
+Usage: check_recovery.py BENCH_service.json [--shards 4] [--max-ratio 10.0]
+"""
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("json_path")
+    ap.add_argument("--shards", type=int, default=4)
+    ap.add_argument("--max-ratio", type=float, default=10.0)
+    args = ap.parse_args()
+
+    with open(args.json_path) as f:
+        data = json.load(f)
+
+    name = f"BM_ShardRecovery/{args.shards}/iterations:1/real_time"
+    bench = None
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        if b["name"] == name:
+            bench = b
+            break
+    if bench is None:
+        print(
+            f"check_recovery: missing {name} in {args.json_path}",
+            file=sys.stderr,
+        )
+        return 2
+
+    recoveries = bench.get("recoveries", 0.0)
+    rec_p99 = bench.get("recovery_p99_us")
+    batch_p99 = bench.get("steady_batch_p99_us")
+    if not recoveries or rec_p99 is None or batch_p99 is None:
+        print(
+            f"check_recovery: {name} injected no recoveries or exported no "
+            f"percentiles (recoveries={recoveries}, recovery_p99_us={rec_p99}, "
+            f"steady_batch_p99_us={batch_p99})",
+            file=sys.stderr,
+        )
+        return 2
+
+    if batch_p99 <= 0:
+        print(
+            "check_recovery: steady-state batch p99 is zero — metrics compiled "
+            "out or clock broken",
+            file=sys.stderr,
+        )
+        return 2
+
+    ratio = rec_p99 / batch_p99
+    print(
+        f"check_recovery: {args.shards}-shard recovery p99 {rec_p99:.0f}us / "
+        f"steady batch p99 {batch_p99:.0f}us = {ratio:.2f}x "
+        f"(required < {args.max_ratio:.1f}x, {recoveries:.0f} recoveries)"
+    )
+    if ratio >= args.max_ratio:
+        print(
+            f"check_recovery: FAIL — journal-replay failover too slow "
+            f"(ratio {ratio:.2f} >= {args.max_ratio:.1f})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -93,6 +93,10 @@ PARDFS_OBS_DUMP_DIR="$ROOT" "$BUILD/bench/bench_service" \
 # readers (skips with a warning on < 4-CPU machines).
 python3 "$ROOT/bench/check_shard_scaling.py" "$ROOT/BENCH_service.json" \
   --shards 4 --readers 4 --min-ratio 1.5
+# Failover guard (E18): p99 journal-replay recovery latency must stay under
+# 10x the steady-state batch-cycle p99 at 4 shards, n = 2^15.
+python3 "$ROOT/bench/check_recovery.py" "$ROOT/BENCH_service.json" \
+  --shards 4 --max-ratio 10.0
 "$BUILD/bench/bench_parallel" \
   --benchmark_min_time="$MIN_TIME" \
   --benchmark_out_format=json --benchmark_out="$ROOT/BENCH_parallel.json"

@@ -78,6 +78,12 @@ class DfsService {
   ServiceStats stats() const { return router_.stats(); }
   std::size_t queue_depth() const { return router_.queue_depth(); }
 
+  // ---- failure injection (DESIGN.md §13) -----------------------------------
+  // Poisons the writer: it crashes at its next drained work and — with the
+  // journal on (the default) — the watchdog fails it over by journal replay.
+  // Poll stats().recoveries for completion. Available in every build.
+  void inject_writer_failure() { router_.inject_writer_failure(0); }
+
   // ---- observability -------------------------------------------------------
   // Point-in-time dump of the process-wide obs registry (DESIGN.md §11):
   // Prometheus exposition text / one JSON object. Callable from any thread

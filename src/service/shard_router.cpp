@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
+#include <cstdio>
+#include <optional>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
@@ -10,10 +13,22 @@
 #include "core/articulation.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
+#include "service/journal.hpp"
+#include "testing/chaos.hpp"
 #include "util/check.hpp"
 
 namespace pardfs::service {
 namespace {
+
+// Control-plane clock: heartbeats, staleness bounds and recovery timing must
+// keep working when metrics are compiled out (obs::now_ns() is 0 then), so
+// the supervision layer reads steady_clock directly.
+std::uint64_t mono_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 // The legacy unlabeled service series (the shapes PR 6's dashboards and the
 // benches read). A 1-shard router records into exactly these, so nothing
@@ -81,6 +96,34 @@ obs::Counter& applied_counter() {
 obs::Counter& published_counter() {
   static obs::Counter& c =
       obs::Registry::global().counter("pardfs_snapshots_published_total");
+  return c;
+}
+
+// Robustness families (DESIGN.md §13). Process-global: a recovery is a
+// process-level event regardless of which shard crashed.
+obs::Counter& recoveries_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("pardfs_recoveries_total");
+  return c;
+}
+obs::Histogram& recovery_latency_hist() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "pardfs_recovery_latency_us", "", 1e-3);
+  return h;
+}
+obs::Counter& stalls_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("pardfs_writer_stalls_total");
+  return c;
+}
+obs::Counter& retryable_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("pardfs_acks_retryable_total");
+  return c;
+}
+obs::Counter& overload_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("pardfs_overload_shed_total");
   return c;
 }
 
@@ -163,6 +206,39 @@ struct ShardRouter::Shard {
   std::uint64_t updates_applied = 0;  // guarded by mu
   std::uint64_t last_publish_ns = 0;  // guarded by mu
   ServiceStats stats;                 // guarded by the router's control_mu_
+
+  // ---- failure domain (DESIGN.md §13) --------------------------------------
+  // Write-ahead journal; recording happens under mu, replay with mu held and
+  // the writer dead. Null when ServiceConfig::enable_journal is off.
+  std::unique_ptr<UpdateJournal> journal;
+  // The accepted-and-journaled batch currently being applied: its tickets
+  // are durable — if the writer crashes before acking them, recovery acks
+  // them with the recorded version (+ the replayed insert ids) instead of
+  // kRetryable. Guarded by mu; cleared once the live path acks.
+  struct WalPending {
+    std::vector<UpdateTicket> tickets;
+    std::vector<GraphUpdate::Kind> kinds;  // parallel to tickets
+    std::uint64_t version = 0;
+  };
+  std::optional<WalPending> wal_pending;  // guarded by mu
+  // Writer liveness, all lock-free so the watchdog never touches mu to
+  // observe: heartbeat stamped at each drain, busy while a drained batch is
+  // processing, crashed set by the writer's catch block, fenced set by the
+  // watchdog on a stale busy heartbeat (the writer converts it to a crash at
+  // its next cancellation point), poison set by inject_writer_failure().
+  std::atomic<std::uint64_t> heartbeat_ns{0};
+  std::atomic<bool> busy{false};
+  std::atomic<bool> crashed{false};
+  std::atomic<bool> fenced{false};
+  std::atomic<bool> poison{false};
+  // Journal replay threw (journal disabled or itself damaged): the watchdog
+  // stops retrying; the shard degrades to read-only until stop().
+  std::atomic<bool> unrecoverable{false};
+  // publish() time on the control-plane clock, for the staleness admission
+  // bound (last_publish_ns above uses the obs clock, which can be 0).
+  std::atomic<std::uint64_t> last_publish_mono_ns{0};
+  std::atomic<std::uint64_t> retryable_acks{0};
+  std::atomic<std::uint64_t> overload_sheds{0};
   // This shard's service series (S == 1: the legacy unlabeled ones).
   obs::Histogram* queue_wait = nullptr;
   obs::Histogram* publish_hist = nullptr;
@@ -240,8 +316,26 @@ ShardRouter::ShardRouter(Graph initial, ServiceConfig config)
       }
       g.adopt_component(verts, std::move(rows));
     }
+    // The journal captures the genesis graph (a copy, taken before the
+    // engine consumes it) plus the engine's construction parameters, so
+    // replay() rebuilds with exactly the live configuration.
+    std::unique_ptr<UpdateJournal> journal;
+    if (config_.enable_journal) {
+      UpdateJournal::Config jcfg;
+      jcfg.strategy = config_.strategy;
+      jcfg.num_threads = config_.num_threads;
+      jcfg.obs_shard = S > 1 ? std::to_string(s) : std::string();
+      if (!config_.journal_path_prefix.empty()) {
+        jcfg.file_path = config_.journal_path_prefix + std::to_string(s) + ".log";
+      }
+      journal = std::make_unique<UpdateJournal>(g, std::move(jcfg));
+    }
     shards_.push_back(std::make_unique<Shard>(
         s, std::move(g), config_, S > 1 ? std::to_string(s) : std::string()));
+    shards_.back()->journal = std::move(journal);
+    if (config_.enable_chaos) {
+      shards_.back()->queue.enable_chaos(static_cast<std::int32_t>(s));
+    }
   }
 
   // Eager registration: every shard's full series set (plus the process-wide
@@ -274,6 +368,11 @@ ShardRouter::ShardRouter(Graph initial, ServiceConfig config)
   batches_counter();
   applied_counter();
   published_counter();
+  recoveries_counter();
+  recovery_latency_hist();
+  stalls_counter();
+  retryable_counter();
+  overload_counter();
 
   for (Vertex v = 0; v < n; ++v) {
     if (S == 1) {
@@ -291,6 +390,9 @@ ShardRouter::ShardRouter(Graph initial, ServiceConfig config)
   for (auto& sh : shards_) {
     sh->writer = std::thread([this, shard = sh.get()] { writer_loop(*shard); });
   }
+  if (config_.watchdog_poll_ms > 0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
 }
 
 ShardRouter::~ShardRouter() { stop(); }
@@ -303,12 +405,46 @@ SnapshotPtr ShardRouter::shard_snapshot(std::size_t shard) const {
 
 UpdateTicket ShardRouter::submit(GraphUpdate update) {
   Shard& sh = *shards_[route(update)];
+  UpdateTicket shed;
+  if (shed_overloaded(sh, &shed)) return shed;
   return sh.queue.submit(std::move(update));
 }
 
 bool ShardRouter::try_submit(GraphUpdate update, UpdateTicket* ticket) {
   Shard& sh = *shards_[route(update)];
+  UpdateTicket shed;
+  if (shed_overloaded(sh, &shed)) {
+    // The non-blocking contract stays "true = you hold a ticket": the caller
+    // inspects it and finds kOverloaded instead of a version.
+    *ticket = shed;
+    return true;
+  }
   return sh.queue.try_submit(std::move(update), ticket);
+}
+
+// Admission control: shed with a pre-acked kOverloaded ticket when the
+// target shard's queue is past the depth bound, or its snapshot is older
+// than the staleness bound with work still queued (an idle shard's old
+// snapshot is freshness, not overload). Both bounds default to off.
+bool ShardRouter::shed_overloaded(Shard& sh, UpdateTicket* out) {
+  bool overloaded = false;
+  if (config_.max_queue_depth != 0 &&
+      sh.queue.size() >= config_.max_queue_depth) {
+    overloaded = true;
+  } else if (config_.max_staleness_ms != 0 && sh.queue.size() > 0) {
+    const std::uint64_t last = sh.last_publish_mono_ns.load(
+        std::memory_order_relaxed);
+    if (last != 0 && mono_ns() - last > std::uint64_t{config_.max_staleness_ms} *
+                                            1000000ULL) {
+      overloaded = true;
+    }
+  }
+  if (!overloaded) return false;
+  sh.overload_sheds.fetch_add(1, std::memory_order_relaxed);
+  overload_counter().add();
+  *out = UpdateTicket::make();
+  out->ack(UpdateTicket::kOverloaded);
+  return true;
 }
 
 std::uint64_t ShardRouter::apply_sync(GraphUpdate update) {
@@ -377,9 +513,44 @@ void ShardRouter::stop() {
     paused_ = false;
   }
   control_cv_.notify_all();
+  // The watchdog goes first: once it is joined, nobody can respawn a writer
+  // behind the join loop below (respawn checks stopped_ under control_mu_).
+  {
+    std::lock_guard lock(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
   for (auto& sh : shards_) sh->queue.close();
   for (auto& sh : shards_) {
     if (sh->writer.joinable()) sh->writer.join();
+  }
+  // Shutdown totality sweep: a shard that crashed after the watchdog left
+  // (or ran without one) still owes acks. Recover it in place — the journal
+  // replay acks its wal-pending batch with the recorded version — then flush
+  // whatever its queue still holds as kRetryable. Every ticket ever returned
+  // is acknowledged when stop() returns.
+  for (auto& sh : shards_) {
+    if (sh->crashed.load(std::memory_order_acquire) &&
+        !sh->unrecoverable.load(std::memory_order_acquire)) {
+      try {
+        recover_shard(*sh, /*respawn=*/false);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "pardfs: shutdown recovery of shard %zu failed: %s\n",
+                     sh->id, e.what());
+        abandon_shard(*sh);
+      }
+    } else if (sh->crashed.load(std::memory_order_acquire)) {
+      abandon_shard(*sh);  // idempotent wal flush for the degraded shard
+    }
+    std::vector<PendingUpdate> rest;
+    sh->queue.drain(rest, 0);
+    for (PendingUpdate& p : rest) {
+      if (p.ticket.try_ack(UpdateTicket::kRetryable)) {
+        sh->retryable_acks.fetch_add(1, std::memory_order_relaxed);
+        retryable_counter().add();
+      }
+    }
   }
 }
 
@@ -401,11 +572,15 @@ ServiceStats ShardRouter::stats() const {
       out.base_rebuilds += s.base_rebuilds;
       out.shard_migrations += s.shard_migrations;
       out.cross_shard_inserts += s.cross_shard_inserts;
+      out.recoveries += s.recoveries;
     }
   }
   out.rejected_infeasible = out.updates_rejected;
   for (const auto& sh : shards_) {
     out.rejected_shutdown += sh->queue.rejected_after_close();
+    out.retryable_acks += sh->retryable_acks.load(std::memory_order_relaxed);
+    out.overload_sheds += sh->overload_sheds.load(std::memory_order_relaxed) +
+                          sh->queue.overload_sheds();
   }
   return out;
 }
@@ -418,6 +593,11 @@ ServiceStats ShardRouter::shard_stats(std::size_t shard) const {
   }
   out.rejected_infeasible = out.updates_rejected;
   out.rejected_shutdown = shards_[shard]->queue.rejected_after_close();
+  out.retryable_acks =
+      shards_[shard]->retryable_acks.load(std::memory_order_relaxed);
+  out.overload_sheds =
+      shards_[shard]->overload_sheds.load(std::memory_order_relaxed) +
+      shards_[shard]->queue.overload_sheds();
   return out;
 }
 
@@ -531,6 +711,7 @@ void ShardRouter::publish(Shard& sh, bool forest_unchanged) {
                                           std::move(forest), g.num_edges(),
                                           std::move(cuts)),
       std::memory_order_release);
+  sh.last_publish_mono_ns.store(mono_ns(), std::memory_order_relaxed);
 }
 
 bool ShardRouter::feasible(const Shard& sh, const GraphUpdate& u,
@@ -617,70 +798,128 @@ bool ShardRouter::is_local(const Shard& sh, const GraphUpdate& u) const {
 }
 
 void ShardRouter::writer_loop(Shard& sh) {
+  // The writer owns a recoverable failure domain: any PARDFS_CHECK its
+  // frames trip throws InvariantViolation instead of aborting the process;
+  // the catch below turns it (and injected faults) into shard poisoning +
+  // journal-replay recovery (DESIGN.md §13).
+  const ScopedRecoverableChecks recoverable;
   std::vector<PendingUpdate> pending;
   std::vector<PendingUpdate*> run;
-  for (;;) {
-    {
-      std::unique_lock lock(control_mu_);
-      control_cv_.wait(lock, [&] { return !paused_ || stopped_; });
-    }
-    pending.clear();
-    std::size_t cap = config_.max_batch;
-    if (cap == 0) {
-      // The epoch period moves on rebases; merges mutate the engine from
-      // other writers, so even this read takes the (uncontended) lock.
-      std::lock_guard lock(sh.mu);
-      cap = sh.dfs.epoch_period();
-    }
-    {
-      // The span covers the blocking wait for work — idle gaps show up as
-      // long drain spans in the trace, not as holes.
-      const obs::Span drain_span("drain");
-      if (!sh.queue.drain(pending, cap)) break;  // closed and fully drained
-    }
-    {
-      // pause() may have landed while drain() was blocked on an empty queue:
-      // drained updates are held, un-applied, until resume (or stop).
-      std::unique_lock lock(control_mu_);
-      control_cv_.wait(lock, [&] { return !paused_ || stopped_; });
-    }
-    // Queue-wait phase (submit -> drain) per update, plus the two service
-    // gauges: how much is still queued and how much this drain coalesced.
-    if (obs::metrics_enabled()) {
-      const std::uint64_t drained_at = obs::now_ns();
-      for (const PendingUpdate& p : pending) {
-        if (p.enqueue_ns != 0) sh.queue_wait->record(drained_at - p.enqueue_ns);
-      }
-    }
-    sh.depth_gauge->set(static_cast<std::int64_t>(sh.queue.size()));
-    sh.coalesce_gauge->set(static_cast<std::int64_t>(pending.size()));
-
-    // Segment the drained FIFO into maximal runs of locally-resolving ops
-    // (batched through the ported single-writer path) interleaved with
-    // specials (merges / ops whose component migrated away after routing).
-    // Classification happens under the engine lock: directory entries
-    // pointing at this shard cannot change while it is held, so an op
-    // classified local stays local through its apply.
-    std::size_t i = 0;
-    while (i < pending.size()) {
-      std::size_t j = i;
+  try {
+    for (;;) {
+      sh.heartbeat_ns.store(mono_ns(), std::memory_order_release);
       {
+        std::unique_lock lock(control_mu_);
+        control_cv_.wait(lock, [&] { return !paused_ || stopped_; });
+      }
+      pending.clear();
+      std::size_t cap = config_.max_batch;
+      if (cap == 0) {
+        // The epoch period moves on rebases; merges mutate the engine from
+        // other writers, so even this read takes the (uncontended) lock.
         std::lock_guard lock(sh.mu);
-        while (j < pending.size() && is_local(sh, pending[j].update)) ++j;
-        if (j > i) {
-          run.clear();
-          for (std::size_t k = i; k < j; ++k) run.push_back(&pending[k]);
-          apply_run_locked(sh, sh, run);
+        cap = sh.dfs.epoch_period();
+      }
+      {
+        // The span covers the blocking wait for work — idle gaps show up as
+        // long drain spans in the trace, not as holes.
+        const obs::Span drain_span("drain");
+        if (!sh.queue.drain(pending, cap)) break;  // closed and fully drained
+      }
+      {
+        // pause() may have landed while drain() was blocked on an empty queue:
+        // drained updates are held, un-applied, until resume (or stop).
+        std::unique_lock lock(control_mu_);
+        control_cv_.wait(lock, [&] { return !paused_ || stopped_; });
+      }
+      // Cancellation point: a poison injected by inject_writer_failure() or
+      // a fence raised by the watchdog (stalled heartbeat) becomes a crash
+      // here, while nothing is half-applied — the drained updates are not
+      // journaled yet, so the catch block acks them all kRetryable.
+      sh.heartbeat_ns.store(mono_ns(), std::memory_order_release);
+      sh.busy.store(true, std::memory_order_release);
+      if (sh.poison.exchange(false)) {
+        throw chaos::InjectedCrash("injected writer failure");
+      }
+      if (sh.fenced.load(std::memory_order_acquire)) {
+        throw chaos::InjectedCrash("writer fenced by watchdog after stall");
+      }
+      // Queue-wait phase (submit -> drain) per update, plus the two service
+      // gauges: how much is still queued and how much this drain coalesced.
+      if (obs::metrics_enabled()) {
+        const std::uint64_t drained_at = obs::now_ns();
+        for (const PendingUpdate& p : pending) {
+          if (p.enqueue_ns != 0) sh.queue_wait->record(drained_at - p.enqueue_ns);
         }
       }
-      if (j == i) {
-        process_special(sh, pending[i]);
-        ++i;
-      } else {
-        i = j;
+      sh.depth_gauge->set(static_cast<std::int64_t>(sh.queue.size()));
+      sh.coalesce_gauge->set(static_cast<std::int64_t>(pending.size()));
+
+      // Segment the drained FIFO into maximal runs of locally-resolving ops
+      // (batched through the ported single-writer path) interleaved with
+      // specials (merges / ops whose component migrated away after routing).
+      // Classification happens under the engine lock: directory entries
+      // pointing at this shard cannot change while it is held, so an op
+      // classified local stays local through its apply.
+      std::size_t i = 0;
+      while (i < pending.size()) {
+        std::size_t j = i;
+        {
+          std::lock_guard lock(sh.mu);
+          while (j < pending.size() && is_local(sh, pending[j].update)) ++j;
+          if (j > i) {
+            run.clear();
+            for (std::size_t k = i; k < j; ++k) run.push_back(&pending[k]);
+            apply_run_locked(sh, sh, run);
+          }
+        }
+        if (j == i) {
+          process_special(sh, pending[i]);
+          ++i;
+        } else {
+          i = j;
+        }
+      }
+      sh.busy.store(false, std::memory_order_release);
+    }
+  } catch (const std::exception& e) {
+    writer_crashed(sh, pending, e.what());
+  }
+}
+
+void ShardRouter::writer_crashed(Shard& sh, std::vector<PendingUpdate>& pending,
+                                 const char* what) {
+  // Runs in the writer's catch block with every lock released by the unwind.
+  // Tickets of the journaled-but-unacked batch (wal_pending) are durable —
+  // recovery will ack them from the replay; everything else this writer had
+  // drained was never accepted and acks kRetryable now.
+  std::vector<UpdateTicket> journaled;
+  {
+    std::lock_guard lock(sh.mu);
+    if (sh.wal_pending.has_value()) journaled = sh.wal_pending->tickets;
+  }
+  for (PendingUpdate& p : pending) {
+    if (p.ticket.done()) continue;
+    bool in_wal = false;
+    for (const UpdateTicket& t : journaled) {
+      if (p.ticket.same_ticket(t)) {
+        in_wal = true;
+        break;
       }
     }
+    if (!in_wal && p.ticket.try_ack(UpdateTicket::kRetryable)) {
+      sh.retryable_acks.fetch_add(1, std::memory_order_relaxed);
+      retryable_counter().add();
+    }
   }
+  std::fprintf(stderr,
+               "pardfs: shard %zu writer crashed: %s (%s)\n", sh.id, what,
+               sh.journal != nullptr ? "journal-replay recovery pending"
+                                     : "no journal: degrading to reads-only");
+  sh.busy.store(false, std::memory_order_release);
+  // Last: the crashed flag is what the watchdog acts on, and it must find
+  // the retryable sweep already done when it joins this thread.
+  sh.crashed.store(true, std::memory_order_release);
 }
 
 // Applies a run of ops (already classified local to `target`) as one batch:
@@ -704,6 +943,10 @@ void ShardRouter::apply_run_locked(Shard& target, Shard& gateway,
   BatchDelta delta;
   if (has_insert) {
     id_lock = std::unique_lock(id_mu_);
+    // The pad is journaled even if every insert then fails feasibility: the
+    // live engine's capacity moved, so replay's must too (§13: the journal
+    // mirrors every engine mutation, not every accepted update).
+    if (target.journal) target.journal->record_pad(global_next_);
     target.dfs.pad_capacity(global_next_);
     delta.next_vertex = global_next_;
   } else {
@@ -728,9 +971,33 @@ void ShardRouter::apply_run_locked(Shard& target, Shard& gateway,
 
   BatchStats batch_stats;
   if (!batch.empty()) {
+    if (config_.enable_chaos) chaos_stall(target, gateway);
+    // WAL point: acceptance == journaled. The batch, its version and its
+    // tickets are recorded before apply; a crash from here on recovers by
+    // replay and acks these tickets with that version (exactly-once via
+    // try_ack). There is deliberately no faultable code between the two
+    // statements below.
+    if (target.journal) {
+      target.journal->record_apply(batch, target.version + 1,
+                                   target.updates_applied + batch.size());
+      Shard::WalPending wal;
+      wal.tickets = accepted;
+      wal.kinds.reserve(batch.size());
+      for (const GraphUpdate& u : batch) wal.kinds.push_back(u.kind);
+      wal.version = target.version + 1;
+      target.wal_pending = std::move(wal);
+    }
+    if (config_.enable_chaos) {
+      chaos_site(static_cast<int>(chaos::FaultPoint::kWriterCrashMidBatch),
+                 target);
+    }
     {
       const obs::Span apply_span("apply_batch");
       batch_stats = target.dfs.apply_batch(batch);
+    }
+    if (config_.enable_chaos) {
+      chaos_site(static_cast<int>(chaos::FaultPoint::kIndexRebuildThrow),
+                 target);
     }
     target.updates_applied += batch.size();
     ++target.version;
@@ -761,6 +1028,9 @@ void ShardRouter::apply_run_locked(Shard& target, Shard& gateway,
       gateway.ack_latency->record(acked_at - accepted_enqueue_ns[i]);
     }
   }
+  // The batch is applied, published and acked: its WAL tickets are no longer
+  // pending (caller still holds target.mu).
+  target.wal_pending.reset();
 
   {
     std::lock_guard lock(control_mu_);
@@ -838,11 +1108,90 @@ void ShardRouter::process_special(Shard& sh, PendingUpdate& p) {
     }
     if (!stable) continue;  // locks drop; a migration raced us — re-resolve
 
+    // A crashed shard's engine is poisoned state: nothing may touch it until
+    // recovery has replayed its journal. kRetryable (rather than blocking on
+    // the watchdog) keeps this queue draining; the client resubmits after
+    // the failover.
+    bool any_crashed = false;
+    for (const std::size_t s : involved) {
+      if (shards_[s]->crashed.load(std::memory_order_acquire)) {
+        any_crashed = true;
+        break;
+      }
+    }
+    if (any_crashed) {
+      if (p.ticket.try_ack(UpdateTicket::kRetryable)) {
+        sh.retryable_acks.fetch_add(1, std::memory_order_relaxed);
+        retryable_counter().add();
+      }
+      return;
+    }
+
+    // Crash handling for everything below: the gateway writer survives a
+    // remote/merge crash — the damaged engines are repaired here, inline,
+    // while their locks are still held (their own writers are alive, so the
+    // watchdog could never join them). `recover_first` is recovered before
+    // the rest so the directory flips to the winner before any loser
+    // republishes without the migrated component (miss-free reads, same
+    // ordering argument as the non-crash path).
+    std::size_t recover_first = involved[0];
+    const auto recover_inline = [&](const char* what) {
+      std::fprintf(stderr,
+                   "pardfs: merge on shard %zu crashed: %s; recovering %zu "
+                   "shard(s) inline\n",
+                   sh.id, what, involved.size());
+      const auto recover_one = [&](std::size_t s) {
+        Shard& damaged = *shards_[s];
+        const std::uint64_t t0 = mono_ns();
+        try {
+          recover_shard_locked(damaged);
+          recoveries_counter().add();
+          recovery_latency_hist().record(mono_ns() - t0);
+          std::lock_guard lock(control_mu_);
+          ++damaged.stats.recoveries;
+        } catch (const std::exception& e) {
+          // Replay itself failed: the shard degrades to reads-only. Its own
+          // writer stays alive but is poisoned, so the next work it drains
+          // converts to a crash and its tickets flush kRetryable; crashed is
+          // NOT set here (the writer is alive — the watchdog must not try to
+          // join it).
+          std::fprintf(stderr,
+                       "pardfs: inline recovery of shard %zu failed: %s\n", s,
+                       e.what());
+          damaged.poison.store(true, std::memory_order_release);
+          damaged.unrecoverable.store(true, std::memory_order_release);
+          // We hold damaged.mu (it is one of `locks`): flush its wal
+          // tickets here rather than via abandon_shard, which re-locks.
+          if (damaged.wal_pending.has_value()) {
+            for (const UpdateTicket& t : damaged.wal_pending->tickets) {
+              if (t.try_ack(UpdateTicket::kRetryable)) {
+                damaged.retryable_acks.fetch_add(1, std::memory_order_relaxed);
+                retryable_counter().add();
+              }
+            }
+            damaged.wal_pending.reset();
+          }
+        }
+      };
+      recover_one(recover_first);
+      for (const std::size_t s : involved) {
+        if (s != recover_first) recover_one(s);
+      }
+      if (p.ticket.try_ack(UpdateTicket::kRetryable)) {
+        sh.retryable_acks.fetch_add(1, std::memory_order_relaxed);
+        retryable_counter().add();
+      }
+    };
+
     if (involved.size() == 1) {
       // The whole op resolves into one shard (it migrated after routing, or
       // a concurrent merge co-located the endpoints): single-op run there.
-      std::vector<PendingUpdate*> run{&p};
-      apply_run_locked(*shards_[involved[0]], sh, run);
+      try {
+        std::vector<PendingUpdate*> run{&p};
+        apply_run_locked(*shards_[involved[0]], sh, run);
+      } catch (const std::exception& e) {
+        recover_inline(e.what());
+      }
       return;
     }
 
@@ -853,8 +1202,12 @@ void ShardRouter::process_special(Shard& sh, PendingUpdate& p) {
       return;
     }
 
-    // Two-shard (k-shard for vertex inserts) merge protocol. Feasibility
-    // first, against each endpoint's own shard.
+    // Two-shard (k-shard for vertex inserts) merge protocol, inside the
+    // merge failure domain: an escaped invariant (or injected fault)
+    // anywhere below repairs every involved shard by journal replay before
+    // the gateway writer moves on.
+    try {
+    // Feasibility first, against each endpoint's own shard.
     bool alive_ok = true;
     for (std::size_t k = 0; k < endpoints.size(); ++k) {
       if (!shards_[static_cast<std::size_t>(dirs[k])]->dfs.graph().is_alive(
@@ -894,6 +1247,7 @@ void ShardRouter::process_special(Shard& sh, PendingUpdate& p) {
       }
     }
     Shard& w = *shards_[winner];
+    recover_first = winner;
 
     // Migrate every involved component not already living in the winner:
     // verbatim row transplant, deduplicated by (shard, root) — several
@@ -906,10 +1260,20 @@ void ShardRouter::process_special(Shard& sh, PendingUpdate& p) {
     for (std::size_t k = 0; k < endpoints.size(); ++k) {
       const auto s = static_cast<std::size_t>(dirs[k]);
       if (s == winner) continue;
-      const Vertex root = shards_[s]->dfs.root_of(endpoints[k]);
+      Shard& loser = *shards_[s];
+      const Vertex root = loser.dfs.root_of(endpoints[k]);
       if (!seen.insert({s, root}).second) continue;
       DynamicDfs::ComponentTransfer t =
-          shards_[s]->dfs.extract_component(endpoints[k]);
+          loser.dfs.extract_component(endpoints[k]);
+      // Journal both halves back-to-back with no faultable code between:
+      // crashes in this design are C++ exceptions, so the two records are
+      // atomic — replay sees the migration on both sides or on neither.
+      // The loser's version_after is its single post-merge bump (one per op
+      // however many components leave).
+      if (loser.journal) {
+        loser.journal->record_extract(endpoints[k], loser.version + 1);
+      }
+      if (w.journal) w.journal->record_adopt(t);
       migrated.insert(migrated.end(), t.vertices.begin(), t.vertices.end());
       w.dfs.adopt_component(std::move(t));
       migrations_counter().add();
@@ -917,19 +1281,38 @@ void ShardRouter::process_special(Shard& sh, PendingUpdate& p) {
       losers.insert(s);
     }
 
+    if (config_.enable_chaos) {
+      chaos_site(static_cast<int>(chaos::FaultPoint::kMergeAbort), w);
+    }
+
     // Apply the merging op on the winner (everything is co-located now).
+    // Same WAL discipline as apply_run_locked: record + wal_pending, then
+    // apply; a crash in between recovers to the recorded version.
+    const auto record_merge_apply = [&] {
+      if (!w.journal) return;
+      w.journal->record_apply(std::span<const GraphUpdate>(&u, 1),
+                              w.version + 1, w.updates_applied + 1);
+      Shard::WalPending wal;
+      wal.tickets = {p.ticket};
+      wal.kinds = {u.kind};
+      wal.version = w.version + 1;
+      w.wal_pending = std::move(wal);
+    };
     BatchStats batch_stats;
     Vertex assigned = kNullVertex;
     {
       const obs::Span apply_span("apply_batch");
       if (u.kind == GraphUpdate::Kind::kInsertVertex) {
         std::lock_guard id_lock(id_mu_);
+        if (w.journal) w.journal->record_pad(global_next_);
         w.dfs.pad_capacity(global_next_);
+        record_merge_apply();
         batch_stats = w.dfs.apply_batch(std::span<const GraphUpdate>(&u, 1));
         assigned = batch_stats.new_vertices.at(0);
         directory_->set(assigned, static_cast<std::int32_t>(winner));
         global_next_ = w.dfs.graph().capacity();
       } else {
+        record_merge_apply();
         batch_stats = w.dfs.apply_batch(std::span<const GraphUpdate>(&u, 1));
       }
     }
@@ -954,6 +1337,7 @@ void ShardRouter::process_special(Shard& sh, PendingUpdate& p) {
     published_counter().add(1 + losers.size());
 
     p.ticket.ack(ack_version, assigned);
+    w.wal_pending.reset();
     if (obs::metrics_enabled() && p.enqueue_ns != 0) {
       sh.ack_latency->record(obs::now_ns() - p.enqueue_ns);
     }
@@ -976,8 +1360,198 @@ void ShardRouter::process_special(Shard& sh, PendingUpdate& p) {
       sh.stats.cross_shard_inserts += 1;
       sh.stats.shard_migrations += migrations;
     }
+    } catch (const std::exception& e) {
+      recover_inline(e.what());
+    }
     return;
   }
+}
+
+// ---- supervision (DESIGN.md §13) -------------------------------------------
+
+void ShardRouter::inject_writer_failure(std::size_t shard) {
+  shards_[shard]->poison.store(true, std::memory_order_release);
+}
+
+// Chaos helpers. Both are called only when config_.enable_chaos is set, and
+// compile down to a locked no-op lookup unless PARDFS_ENABLE_CHAOS is on.
+void ShardRouter::chaos_site(int point, Shard& target) {
+  const chaos::FaultAction a =
+      chaos::hit(static_cast<chaos::FaultPoint>(point), target.id);
+  switch (a.kind) {
+    case chaos::FaultAction::Kind::kCrash:
+      throw chaos::InjectedCrash(std::string("chaos: ") +
+                                 chaos::point_name(
+                                     static_cast<chaos::FaultPoint>(point)));
+    case chaos::FaultAction::Kind::kThrow:
+      throw chaos::InjectedCrash("chaos: index rebuild failed");
+    default:
+      return;
+  }
+}
+
+// batch_stall_ms: sleep in slices, checking for the watchdog's fence (and
+// shutdown) between slices — a stalled-then-fenced writer converts to a
+// crash, which the journal makes lossless.
+void ShardRouter::chaos_stall(Shard& target, Shard& gateway) {
+  const chaos::FaultAction a =
+      chaos::hit(chaos::FaultPoint::kBatchStallMs, target.id);
+  if (a.kind != chaos::FaultAction::Kind::kStall) return;
+  const std::uint64_t end = mono_ns() + std::uint64_t{a.param} * 1000000ULL;
+  while (mono_ns() < end) {
+    if (gateway.fenced.load(std::memory_order_acquire)) {
+      throw chaos::InjectedCrash("chaos: stalled writer fenced");
+    }
+    {
+      std::lock_guard lock(control_mu_);
+      if (stopped_) return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void ShardRouter::watchdog_loop() {
+  // Replays run on this thread; engine checks tripped during them must
+  // throw (and be caught below), not abort.
+  const ScopedRecoverableChecks recoverable;
+  for (;;) {
+    {
+      std::unique_lock lock(watchdog_mu_);
+      watchdog_cv_.wait_for(lock,
+                            std::chrono::milliseconds(config_.watchdog_poll_ms),
+                            [&] { return watchdog_stop_; });
+      if (watchdog_stop_) return;
+    }
+    for (auto& shp : shards_) {
+      Shard& sh = *shp;
+      if (sh.unrecoverable.load(std::memory_order_acquire)) continue;
+      if (sh.crashed.load(std::memory_order_acquire)) {
+        try {
+          recover_shard(sh, /*respawn=*/true);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr,
+                       "pardfs: recovery of shard %zu failed: %s; shard "
+                       "degrades to reads-only\n",
+                       sh.id, e.what());
+          abandon_shard(sh);
+        }
+        continue;
+      }
+      // Stall detection: busy (a drained batch is processing) with a
+      // heartbeat older than the bound. The fence is advisory — the writer
+      // converts it to a crash at its next cancellation point; a thread
+      // truly stuck in a syscall cannot be reclaimed portably, but its shard
+      // keeps serving reads regardless.
+      if (config_.stall_timeout_ms != 0 &&
+          sh.busy.load(std::memory_order_acquire)) {
+        const std::uint64_t hb = sh.heartbeat_ns.load(std::memory_order_acquire);
+        if (hb != 0 &&
+            mono_ns() - hb >
+                std::uint64_t{config_.stall_timeout_ms} * 1000000ULL &&
+            !sh.fenced.exchange(true, std::memory_order_acq_rel)) {
+          stalls_counter().add();
+        }
+      }
+    }
+  }
+}
+
+void ShardRouter::recover_shard(Shard& sh, bool respawn) {
+  // Callable from the watchdog or from stop() (a user thread): either way
+  // the replay is a recoverable failure domain, not an abort.
+  const ScopedRecoverableChecks recoverable;
+  const std::uint64_t t0 = mono_ns();
+  // The crashed writer has set sh.crashed as its last act; join reclaims the
+  // thread object so a fresh writer can take its place.
+  if (sh.writer.joinable()) sh.writer.join();
+  {
+    std::lock_guard lock(sh.mu);
+    recover_shard_locked(sh);
+  }
+  recoveries_counter().add();
+  recovery_latency_hist().record(mono_ns() - t0);
+  bool respawn_now = respawn;
+  {
+    std::lock_guard lock(control_mu_);
+    ++sh.stats.recoveries;
+    if (stopped_) respawn_now = false;
+    if (respawn_now) {
+      // Under control_mu_ so this assignment cannot race stop()'s join loop:
+      // stop() joins the watchdog (us) before touching writer threads, and
+      // once it has set stopped_ we never assign again.
+      sh.writer = std::thread([this, shard = &sh] { writer_loop(*shard); });
+    }
+  }
+}
+
+void ShardRouter::abandon_shard(Shard& sh) {
+  sh.unrecoverable.store(true, std::memory_order_release);
+  std::lock_guard lock(sh.mu);
+  if (sh.wal_pending.has_value()) {
+    for (const UpdateTicket& t : sh.wal_pending->tickets) {
+      if (t.try_ack(UpdateTicket::kRetryable)) {
+        sh.retryable_acks.fetch_add(1, std::memory_order_relaxed);
+        retryable_counter().add();
+      }
+    }
+    sh.wal_pending.reset();
+  }
+}
+
+void ShardRouter::recover_shard_locked(Shard& sh) {
+  if (sh.journal == nullptr) {
+    // No journal, no replay: the shard stays degraded (reads keep serving
+    // the last published snapshot; its queue is flushed kRetryable at
+    // stop()). Clearing crashed would invite writers onto a damaged engine.
+    throw InvariantViolation("shard has no journal to replay");
+  }
+  UpdateJournal::ReplayResult r = sh.journal->replay();
+  // Swap the damaged engine for the replayed twin. Determinism (§12) makes
+  // the replacement byte-identical to the engine a crash-free history would
+  // have produced; snapshots sharing state with the old engine keep it alive
+  // via shared_ptr until their readers drop them.
+  sh.dfs = std::move(r.engine);
+  sh.version = r.version;
+  sh.updates_applied = r.updates_applied;
+  // Re-point the directory at everything alive here. This both repairs a
+  // merge interrupted between journal record and directory flip (migrated
+  // vertices resolve to the winner as soon as it republishes) and is a no-op
+  // for entries that already point here. Entries for ids that died on this
+  // shard keep pointing here, preserving query totality.
+  const Graph& g = sh.dfs.graph();
+  for (Vertex v = 0; v < g.capacity(); ++v) {
+    if (g.is_alive(v)) directory_->set(v, static_cast<std::int32_t>(sh.id));
+  }
+  {
+    // The replay may include pads/inserts the crash interrupted: keep the
+    // global id space at least as large as any replayed capacity.
+    std::lock_guard id_lock(id_mu_);
+    global_next_ = std::max(global_next_, g.capacity());
+  }
+  publish(sh, /*forest_unchanged=*/false);
+  {
+    std::lock_guard lock(control_mu_);
+    ++sh.stats.snapshots_published;
+  }
+  published_counter().add();
+  // WAL acks: the journaled-but-unacked batch was replayed above, so its
+  // tickets resolve to the recorded version (with the replayed insert ids).
+  // try_ack keeps this exactly-once against the crash-time kRetryable sweep.
+  if (sh.wal_pending.has_value()) {
+    std::size_t next_new_vertex = 0;
+    for (std::size_t i = 0; i < sh.wal_pending->tickets.size(); ++i) {
+      Vertex assigned = kNullVertex;
+      if (sh.wal_pending->kinds[i] == GraphUpdate::Kind::kInsertVertex &&
+          next_new_vertex < r.last_new_vertices.size()) {
+        assigned = r.last_new_vertices[next_new_vertex++];
+      }
+      sh.wal_pending->tickets[i].try_ack(sh.wal_pending->version, assigned);
+    }
+    sh.wal_pending.reset();
+  }
+  sh.fenced.store(false, std::memory_order_release);
+  sh.poison.store(false, std::memory_order_release);
+  sh.crashed.store(false, std::memory_order_release);
 }
 
 // ---- RouterView ------------------------------------------------------------

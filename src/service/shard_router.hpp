@@ -70,6 +70,33 @@ struct ServiceConfig {
   // 1 = the exact unsharded behavior, including the legacy unlabeled metric
   // series; > 1 labels the service series with shard="<id>".
   std::size_t num_shards = 1;
+
+  // ---- robustness (DESIGN.md §13) ------------------------------------------
+  // Keep a per-shard write-ahead journal (service/journal.hpp). Required for
+  // crash recovery: with it off, a crashed shard stays degraded — reads keep
+  // serving its last published snapshot, writes to it queue or shed.
+  bool enable_journal = true;
+  // Non-empty: each shard also appends a human-readable journal line to
+  // "<prefix><shard>.log" (post-mortem aid; replay never reads it).
+  std::string journal_path_prefix;
+  // Watchdog poll period. The watchdog detects crashed writers (poisoned by
+  // an escaped invariant or an injected fault) and fails them over by
+  // journal replay on a fresh thread. 0 = no watchdog: degradation only,
+  // recovery happens at stop().
+  std::uint32_t watchdog_poll_ms = 20;
+  // A writer mid-batch whose heartbeat is older than this is declared
+  // stalled: the watchdog fences it (pardfs_writer_stalls_total) and the
+  // writer converts to a crash at its next cancellation point. 0 = off.
+  std::uint32_t stall_timeout_ms = 10000;
+  // Admission control: submits shed with kOverloaded when the target shard's
+  // queue holds >= max_queue_depth updates (0 = off), or when its snapshot
+  // is older than max_staleness_ms with work still queued (0 = off).
+  std::size_t max_queue_depth = 0;
+  std::uint32_t max_staleness_ms = 0;
+  // Consult the process-wide chaos plan (testing/chaos.hpp) at this router's
+  // hook sites. No-op unless the build defines PARDFS_ENABLE_CHAOS; kept off
+  // for reference stacks so differential runs fault only the subject.
+  bool enable_chaos = false;
 };
 
 struct ServiceStats {
@@ -93,6 +120,12 @@ struct ServiceStats {
   // that went through the merge protocol. Always zero at num_shards == 1.
   std::uint64_t shard_migrations = 0;
   std::uint64_t cross_shard_inserts = 0;
+  // Robustness (DESIGN.md §13): completed journal-replay failovers, tickets
+  // acked kRetryable (lost to a crash before journaling), and submits shed
+  // kOverloaded by admission control.
+  std::uint64_t recoveries = 0;
+  std::uint64_t retryable_acks = 0;
+  std::uint64_t overload_sheds = 0;
 };
 
 // Reader-side handle: resolves the owning shard per query and answers from
@@ -187,6 +220,14 @@ class ShardRouter {
   // to inspect after stop().
   const DynamicDfs& core(std::size_t shard) const;
 
+  // ---- failure injection / supervision (DESIGN.md §13) ---------------------
+  // Poisons `shard`'s writer: it throws at its next cancellation point (right
+  // after draining work), exercising the full crash -> journal-replay ->
+  // respawn path. Works in every build (unlike the chaos hooks, which need
+  // PARDFS_ENABLE_CHAOS); tests and ops drills use it. Takes effect when the
+  // writer next drains work; poll stats().recoveries for completion.
+  void inject_writer_failure(std::size_t shard);
+
  private:
   struct Shard;
   // Lock-free chunked vertex -> shard directory. Readers load two acquire
@@ -196,6 +237,32 @@ class ShardRouter {
   class Directory;
 
   void writer_loop(Shard& sh);
+  // Crash epilogue, run in the writer's catch block: acks drained-but-not-
+  // journaled tickets kRetryable and marks the shard crashed for the
+  // watchdog. `pending` is the writer's drained-but-unprocessed work.
+  void writer_crashed(Shard& sh, std::vector<PendingUpdate>& pending,
+                      const char* what);
+  // Watchdog: polls for crashed/stalled writers, recovers them.
+  void watchdog_loop();
+  // Joins the dead writer, replays the journal under sh.mu, republishes,
+  // acks wal-pending tickets, optionally respawns a fresh writer.
+  void recover_shard(Shard& sh, bool respawn);
+  // The replay core; caller holds sh.mu and has joined (or never started)
+  // the shard's writer. Throws if the shard has no journal (or replay fails).
+  void recover_shard_locked(Shard& sh);
+  // Recovery gave up on this shard: mark it unrecoverable (degraded to
+  // reads-only) and flush its wal-pending tickets kRetryable so no client
+  // waits forever on a shard that will never ack.
+  void abandon_shard(Shard& sh);
+  // Admission control + chaos queue_full: true => *out is a pre-acked
+  // kOverloaded ticket and the update must not enqueue.
+  bool shed_overloaded(Shard& sh, UpdateTicket* out);
+  // Chaos hook helpers (inline no-ops without PARDFS_ENABLE_CHAOS). `site`
+  // throws InjectedCrash on a crash/throw action; `stall` sleeps in fenced-
+  // checkable slices. Both keyed by target.id; no-ops when enable_chaos is
+  // false for this router.
+  void chaos_site(int point, Shard& target);
+  void chaos_stall(Shard& target, Shard& gateway);
   // The shard whose queue carries this op (see submit()).
   std::size_t route(const GraphUpdate& u) const;
   // True when every endpoint the op references resolves to `sh` (or to no
@@ -232,6 +299,13 @@ class ShardRouter {
   std::condition_variable control_cv_;
   bool paused_ = false;
   bool stopped_ = false;
+
+  // Supervision (DESIGN.md §13). The watchdog has its own wait channel so
+  // stop() can wake it promptly without touching control_mu_ ordering.
+  std::thread watchdog_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
 };
 
 }  // namespace pardfs::service

@@ -1,9 +1,12 @@
 #include "service/update_queue.hpp"
 
+#include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "testing/chaos.hpp"
 #include "util/check.hpp"
 
 namespace pardfs::service {
@@ -17,7 +20,25 @@ obs::Counter& shutdown_rejections() {
   return c;
 }
 
+// kOverloaded acks: admission control (shard_router) and the chaos
+// queue_full hook record into the same series.
+obs::Counter& overload_sheds_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("pardfs_overload_shed_total");
+  return c;
+}
+
 }  // namespace
+
+const char* UpdateTicket::status_name(std::uint64_t result) {
+  switch (result) {
+    case kRejected: return "rejected";
+    case kRetryable: return "retryable";
+    case kTimeout: return "timeout";
+    case kOverloaded: return "overloaded";
+    default: return "version";
+  }
+}
 
 std::uint64_t UpdateTicket::wait() const {
   // Total even on a never-enqueued ticket: a client racing DfsService::stop()
@@ -26,6 +47,26 @@ std::uint64_t UpdateTicket::wait() const {
   // C++20 atomic wait: blocks until result leaves the pending sentinel.
   state_->result.wait(0, std::memory_order_acquire);
   return state_->result.load(std::memory_order_acquire);
+}
+
+std::uint64_t UpdateTicket::wait_for(std::chrono::nanoseconds timeout) const {
+  if (!valid()) return kRejected;
+  // C++20 atomic wait has no timed variant, so the bounded wait is a
+  // monotonic-deadline poll with capped exponential backoff: responsive at
+  // microsecond ack latencies, cheap when the writer is stalled for the full
+  // deadline (the case this call exists for — see DESIGN.md §13).
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::chrono::nanoseconds step{2000};
+  for (;;) {
+    const std::uint64_t r = state_->result.load(std::memory_order_acquire);
+    if (r != 0) return r;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return kTimeout;
+    std::this_thread::sleep_for(std::min<std::chrono::nanoseconds>(
+        {step, deadline - now}));
+    step = std::min<std::chrono::nanoseconds>(step * 2,
+                                              std::chrono::nanoseconds{1000000});
+  }
 }
 
 std::optional<std::uint64_t> UpdateTicket::poll() const {
@@ -42,14 +83,44 @@ void UpdateTicket::ack(std::uint64_t result, Vertex vertex) const {
   state_->result.notify_all();
 }
 
+bool UpdateTicket::try_ack(std::uint64_t result, Vertex vertex) const {
+  PARDFS_CHECK(valid() && result != 0);
+  // The vertex must be visible before the result flips (assigned_vertex is
+  // only meaningful on a done ticket), so publish it first; a losing CAS
+  // leaves the winner's vertex in place because the winner stored its value
+  // before its own result CAS/store could succeed.
+  state_->vertex.store(vertex, std::memory_order_release);
+  std::uint64_t expected = 0;
+  if (!state_->result.compare_exchange_strong(expected, result,
+                                              std::memory_order_release,
+                                              std::memory_order_acquire)) {
+    return false;
+  }
+  state_->result.notify_all();
+  return true;
+}
+
 UpdateQueue::UpdateQueue(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {
-  // Eager registration: the reason="shutdown" series shows up (at zero) on
-  // every metrics page, not only after the first lost race.
+  // Eager registration: the reason="shutdown" and overload series show up
+  // (at zero) on every metrics page, not only after the first event.
   shutdown_rejections();
+  overload_sheds_counter();
 }
 
 UpdateTicket UpdateQueue::submit(GraphUpdate update) {
+  // Chaos queue_full hook: a plan-ordered shed behaves exactly like the
+  // router's admission control — the client sees kOverloaded and backs off.
+  if (chaos_scope_ >= 0 &&
+      chaos::hit(chaos::FaultPoint::kQueueFull,
+                 static_cast<std::size_t>(chaos_scope_))
+              .kind == chaos::FaultAction::Kind::kShed) {
+    overload_sheds_.fetch_add(1, std::memory_order_relaxed);
+    overload_sheds_counter().add();
+    UpdateTicket ticket = UpdateTicket::make();
+    ticket.ack(UpdateTicket::kOverloaded);
+    return ticket;
+  }
   std::unique_lock lock(mu_);
   not_full_.wait(lock, [&] { return fifo_.size() < capacity_ || closed_; });
   if (closed_) {

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -35,8 +36,31 @@ class ShardRouter;
 class UpdateTicket {
  public:
   // Ack value for updates the service refused (infeasible against the state
-  // they would have applied to). Real versions are small positive numbers.
+  // they would have applied to). Real versions are small positive numbers;
+  // the status values occupy the top of the uint64 range (DESIGN.md §13):
+  //   kRejected   — definitively refused (infeasible / shutdown); retrying
+  //                 the same op would be refused again.
+  //   kRetryable  — the update was lost to a writer crash before it was
+  //                 journaled; it was NOT applied, and resubmitting is safe
+  //                 and expected (service/workload.hpp's submit_with_retry).
+  //   kTimeout    — returned only by wait_for(): the deadline passed while
+  //                 the ticket was still pending. The update is still in
+  //                 flight; wait()/wait_for() again or poll() later.
+  //   kOverloaded — admission control shed the update at submit time (queue
+  //                 depth or snapshot staleness beyond the configured
+  //                 bounds); it never entered a queue. Back off and retry.
   static constexpr std::uint64_t kRejected = ~std::uint64_t{0};
+  static constexpr std::uint64_t kRetryable = ~std::uint64_t{0} - 1;
+  static constexpr std::uint64_t kTimeout = ~std::uint64_t{0} - 2;
+  static constexpr std::uint64_t kOverloaded = ~std::uint64_t{0} - 3;
+
+  // True when `result` is one of the status sentinels above rather than a
+  // publishing snapshot version.
+  static constexpr bool is_status(std::uint64_t result) {
+    return result >= kOverloaded;
+  }
+  // "rejected" / "retryable" / "timeout" / "overloaded" / "version".
+  static const char* status_name(std::uint64_t result);
 
   UpdateTicket() = default;
   bool valid() const { return state_ != nullptr; }
@@ -44,9 +68,13 @@ class UpdateTicket {
     return valid() && state_->result.load(std::memory_order_acquire) != 0;
   }
   // Blocks until acknowledged; returns the publishing snapshot version, or
-  // kRejected. Total: on a default-constructed (never enqueued) ticket it
-  // returns kRejected immediately.
+  // a status sentinel. Total: on a default-constructed (never enqueued)
+  // ticket it returns kRejected immediately.
   std::uint64_t wait() const;
+  // Bounded wait: like wait(), but returns kTimeout once `timeout` elapses
+  // with the ticket still pending (monotonic clock; the ticket itself stays
+  // pending and may be waited on again). Never acks the ticket.
+  std::uint64_t wait_for(std::chrono::nanoseconds timeout) const;
   // Non-blocking probe; empty while unacknowledged.
   std::optional<std::uint64_t> poll() const;
   // For kInsertVertex updates: the id the core assigned, available once the
@@ -69,6 +97,17 @@ class UpdateTicket {
     return t;
   }
   void ack(std::uint64_t result, Vertex vertex = kNullVertex) const;
+  // Exactly-once ack: succeeds only if the ticket was still pending. The
+  // recovery path uses this so a crash-time kRetryable sweep and a journal
+  // replay can race benignly — whichever acks first wins, the other is a
+  // no-op (returns false).
+  bool try_ack(std::uint64_t result, Vertex vertex = kNullVertex) const;
+  // Identity: two tickets acknowledge the same waiter. The writer's crash
+  // handler uses it to exclude journaled (wal-pending) tickets from the
+  // kRetryable sweep.
+  bool same_ticket(const UpdateTicket& other) const {
+    return state_ == other.state_;
+  }
 
   std::shared_ptr<State> state_;
 };
@@ -112,6 +151,18 @@ class UpdateQueue {
     return rejected_after_close_.load(std::memory_order_relaxed);
   }
 
+  // Arms this queue's chaos hook (testing/chaos.hpp `queue_full` point):
+  // submit() consults the process-wide fault plan as shard `scope` and, when
+  // ordered to shed, returns a ticket pre-acked kOverloaded without
+  // enqueueing. Inert unless PARDFS_ENABLE_CHAOS is compiled in; routers
+  // only call this when ServiceConfig::enable_chaos is set.
+  void enable_chaos(std::int32_t scope) { chaos_scope_ = scope; }
+  // Submits shed by the chaos hook (the router folds these into
+  // ServiceStats::overload_sheds).
+  std::uint64_t overload_sheds() const {
+    return overload_sheds_.load(std::memory_order_relaxed);
+  }
+
  private:
   const std::size_t capacity_;
   mutable std::mutex mu_;
@@ -120,6 +171,8 @@ class UpdateQueue {
   std::deque<PendingUpdate> fifo_;
   bool closed_ = false;
   std::atomic<std::uint64_t> rejected_after_close_{0};
+  std::int32_t chaos_scope_ = -1;  // -1 = hook disabled
+  std::atomic<std::uint64_t> overload_sheds_{0};
 };
 
 }  // namespace pardfs::service

@@ -1,5 +1,7 @@
 #include "service/workload.hpp"
 
+#include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "service/shard_router.hpp"
@@ -197,6 +199,36 @@ std::uint64_t run_read_session(const ShardRouter& router, Rng& rng, int queries,
     }
   }
   return sink;
+}
+
+SubmitOutcome submit_with_retry(ShardRouter& router, const GraphUpdate& update,
+                                const RetryPolicy& policy) {
+  SubmitOutcome out;
+  std::chrono::nanoseconds backoff = policy.initial_backoff;
+  while (out.attempts < policy.max_attempts) {
+    ++out.attempts;
+    // Each attempt re-submits a copy: kInsertVertex carries a neighbor list
+    // the queue takes by value.
+    const UpdateTicket ticket = router.submit(update);
+    std::uint64_t r = ticket.wait_for(policy.ack_timeout);
+    // A timed-out ticket is still in flight — keep waiting on IT rather than
+    // resubmitting (each extra wait burns an attempt).
+    while (r == UpdateTicket::kTimeout && out.attempts < policy.max_attempts) {
+      ++out.attempts;
+      r = ticket.wait_for(policy.ack_timeout);
+    }
+    out.result = r;
+    if (out.definitive()) {
+      out.assigned_vertex = ticket.assigned_vertex();
+      return out;
+    }
+    if (r == UpdateTicket::kTimeout) return out;  // budget spent mid-flight
+    // kRetryable (lost to a crash, not applied) / kOverloaded (shed at
+    // admission): back off and resubmit.
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, policy.max_backoff);
+  }
+  return out;
 }
 
 }  // namespace pardfs::service

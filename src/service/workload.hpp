@@ -25,6 +25,7 @@
 // (pinned by tests/test_workload.cpp).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -32,6 +33,7 @@
 #include "core/reduction.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
+#include "service/update_queue.hpp"
 #include "util/random.hpp"
 
 namespace pardfs::service {
@@ -71,6 +73,44 @@ class ShardRouter;
 // state modulo concurrent ownership migration.
 std::uint64_t run_read_session(const ShardRouter& router, Rng& rng, int queries,
                                std::vector<std::uint64_t>* per_shard_queries);
+
+// ---- client-side retry/backoff (DESIGN.md §13) ------------------------------
+//
+// The ack statuses split into definitive (a version, or kRejected) and
+// transient (kRetryable — lost to a writer crash before it was journaled;
+// kOverloaded — shed by admission control; kTimeout — still in flight past
+// the deadline). submit_with_retry is the canonical client loop over that
+// contract: resubmit on kRetryable/kOverloaded with exponential backoff,
+// keep waiting the SAME ticket on kTimeout (the update may still land —
+// resubmitting a timed-out update risks applying it twice), stop on a
+// definitive answer or when the attempt budget runs out.
+struct RetryPolicy {
+  // Total budget: submits plus extra waits on a timed-out ticket.
+  int max_attempts = 8;
+  // Per-attempt ack deadline (UpdateTicket::wait_for bound).
+  std::chrono::nanoseconds ack_timeout = std::chrono::seconds(1);
+  std::chrono::nanoseconds initial_backoff = std::chrono::microseconds(100);
+  std::chrono::nanoseconds max_backoff = std::chrono::milliseconds(50);
+};
+
+struct SubmitOutcome {
+  // The final version, or the last status observed when the budget ran out
+  // (kTimeout / kRetryable / kOverloaded mean "not applied as far as the
+  // client knows"; kTimeout specifically means "maybe still in flight").
+  std::uint64_t result = UpdateTicket::kRejected;
+  Vertex assigned_vertex = kNullVertex;  // for kInsertVertex, once applied
+  int attempts = 0;
+  // Applied (a version) or definitively refused (kRejected): retrying the
+  // same op cannot change the answer.
+  bool definitive() const {
+    return !UpdateTicket::is_status(result) ||
+           result == UpdateTicket::kRejected;
+  }
+  bool applied() const { return !UpdateTicket::is_status(result); }
+};
+
+SubmitOutcome submit_with_retry(ShardRouter& router, const GraphUpdate& update,
+                                const RetryPolicy& policy = {});
 
 class WorkloadDriver {
  public:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <utility>
@@ -15,6 +16,7 @@
 #include "obs/metrics.hpp"
 #include "service/dfs_service.hpp"
 #include "service/workload.hpp"
+#include "testing/chaos.hpp"
 #include "tree/validation.hpp"
 #include "util/random.hpp"
 #include "util/simd.hpp"
@@ -36,6 +38,7 @@ const char* entry_name(FuzzEntry e) {
     case FuzzEntry::kCore: return "core";
     case FuzzEntry::kService: return "service";
     case FuzzEntry::kSharded: return "sharded";
+    case FuzzEntry::kChaos: return "chaos";
   }
   return "unknown";
 }
@@ -52,8 +55,8 @@ bool parse_family(std::string_view name, FuzzFamily& out) {
 }
 
 bool parse_entry(std::string_view name, FuzzEntry& out) {
-  for (const FuzzEntry e :
-       {FuzzEntry::kCore, FuzzEntry::kService, FuzzEntry::kSharded}) {
+  for (const FuzzEntry e : {FuzzEntry::kCore, FuzzEntry::kService,
+                            FuzzEntry::kSharded, FuzzEntry::kChaos}) {
     if (name == entry_name(e)) {
       out = e;
       return true;
@@ -70,8 +73,12 @@ std::string replay_line(const FuzzOptions& o) {
   line += " --batches=" + std::to_string(o.batches);
   line += " --max-batch=" + std::to_string(o.max_batch);
   line += " --threads=" + std::to_string(o.num_threads);
-  if (o.entry == FuzzEntry::kSharded) {
+  if (o.entry == FuzzEntry::kSharded || o.entry == FuzzEntry::kChaos) {
     line += " --shards=" + std::to_string(o.num_shards);
+  }
+  if (o.entry == FuzzEntry::kChaos) {
+    line += " --chaos-seed=" + std::to_string(o.chaos_seed);
+    line += " --chaos-faults=" + std::to_string(o.chaos_faults);
   }
   if (o.corrupt_at >= 0) line += " --corrupt-at=" + std::to_string(o.corrupt_at);
   if (o.force_scalar) line += " --force-scalar";
@@ -475,19 +482,57 @@ class ServiceEngine final : public Engine {
   service::SnapshotPtr snap_;
 };
 
+// The sharded/chaos differential: the router's assembled forest must equal
+// the 1-shard reference snapshot byte for byte (parents, aliveness, totals,
+// and every shard still serving its cut structure).
+bool compare_assembled(const service::ShardRouter& router,
+                       const service::SnapshotPtr& ref_snap, std::string* err) {
+  const std::vector<Vertex> sharded = router.assemble_parent();
+  const std::vector<std::uint8_t> alive = router.assemble_alive();
+  const auto ref_parent = ref_snap->parent();
+  if (sharded.size() != ref_parent.size()) {
+    *err = "assembled capacity " + std::to_string(sharded.size()) +
+           " differs from reference " + std::to_string(ref_parent.size());
+    return false;
+  }
+  for (std::size_t v = 0; v < sharded.size(); ++v) {
+    if (sharded[v] != ref_parent[v]) {
+      *err = "parent(" + std::to_string(v) + ") = " + std::to_string(sharded[v]) +
+             " at " + std::to_string(router.num_shards()) + " shards, " +
+             std::to_string(ref_parent[v]) + " at 1 shard";
+      return false;
+    }
+    const bool ref_alive = ref_snap->contains(static_cast<Vertex>(v));
+    if ((alive[v] != 0) != ref_alive) {
+      *err = "alive(" + std::to_string(v) + ") diverges from the reference";
+      return false;
+    }
+  }
+  if (router.num_vertices() != ref_snap->num_vertices() ||
+      router.num_edges() != ref_snap->num_edges()) {
+    *err = "vertex/edge totals diverge from the 1-shard reference";
+    return false;
+  }
+  for (std::size_t s = 0; s < router.num_shards(); ++s) {
+    if (!router.shard_snapshot(s)->serves_cuts()) {
+      *err = "shard " + std::to_string(s) +
+             " snapshot lost its cut structure despite serve_cuts";
+      return false;
+    }
+  }
+  return true;
+}
+
 // S-shard router in lock-step with a 1-shard reference. Every update applies
 // synchronously to both stacks (apply order = stream order — the serialized
 // regime under which the router guarantees shard-count invariance), then the
 // assembled sharded forest is compared to the unsharded snapshot byte for
 // byte. Queries answer through RouterView, so the directory-resolve path and
 // the cross-shard totality defaults are under test too.
-class ShardedEngine final : public Engine {
+class ShardedEngine : public Engine {
  public:
   ShardedEngine(Graph initial, const FuzzOptions& o)
-      : router_(initial, make_config(o, std::max(o.num_shards, 1))),
-        ref_(std::move(initial), make_config(o, 1)) {
-    ref_snap_ = ref_.snapshot();
-  }
+      : ShardedEngine(std::move(initial), o, /*chaos=*/false) {}
   ~ShardedEngine() override {
     router_.stop();
     ref_.stop();
@@ -525,41 +570,7 @@ class ShardedEngine final : public Engine {
     }
     // The differential: byte-identical forests at S shards and 1 shard.
     ref_snap_ = ref_.snapshot();
-    const std::vector<Vertex> sharded = router_.assemble_parent();
-    const std::vector<std::uint8_t> alive = router_.assemble_alive();
-    const auto ref_parent = ref_snap_->parent();
-    if (sharded.size() != ref_parent.size()) {
-      *err = "assembled capacity " + std::to_string(sharded.size()) +
-             " differs from reference " + std::to_string(ref_parent.size());
-      return false;
-    }
-    for (std::size_t v = 0; v < sharded.size(); ++v) {
-      if (sharded[v] != ref_parent[v]) {
-        *err = "parent(" + std::to_string(v) + ") = " +
-               std::to_string(sharded[v]) + " at " +
-               std::to_string(router_.num_shards()) + " shards, " +
-               std::to_string(ref_parent[v]) + " at 1 shard";
-        return false;
-      }
-      const bool ref_alive = ref_snap_->contains(static_cast<Vertex>(v));
-      if ((alive[v] != 0) != ref_alive) {
-        *err = "alive(" + std::to_string(v) + ") diverges from the reference";
-        return false;
-      }
-    }
-    if (router_.num_vertices() != ref_snap_->num_vertices() ||
-        router_.num_edges() != ref_snap_->num_edges()) {
-      *err = "vertex/edge totals diverge from the 1-shard reference";
-      return false;
-    }
-    for (std::size_t s = 0; s < router_.num_shards(); ++s) {
-      if (!router_.shard_snapshot(s)->serves_cuts()) {
-        *err = "shard " + std::to_string(s) +
-               " snapshot lost its cut structure despite serve_cuts";
-        return false;
-      }
-    }
-    return true;
+    return compare_assembled(router_, ref_snap_, err);
   }
 
   std::vector<Vertex> parent_copy() const override {
@@ -592,21 +603,115 @@ class ShardedEngine final : public Engine {
   }
   std::vector<Edge> q_bridges() const override { return router_.view().bridges(); }
 
- private:
+ protected:
+  // `chaos` arms the router side only: the 1-shard reference stays fault-free
+  // (the process-wide plan is consulted solely by chaos-enabled routers).
+  ShardedEngine(Graph initial, const FuzzOptions& o, bool chaos)
+      : router_(initial, make_config(o, std::max(o.num_shards, 1), chaos)),
+        ref_(std::move(initial), make_config(o, 1, false)) {
+    ref_snap_ = ref_.snapshot();
+  }
+
   static service::ServiceConfig make_config(const FuzzOptions& o,
-                                            int num_shards) {
+                                            int num_shards, bool chaos) {
     service::ServiceConfig config;
     config.queue_capacity = static_cast<std::size_t>(std::max(o.max_batch, 1)) + 8;
     config.max_batch = 1;
     config.num_threads = o.num_threads;
     config.serve_cuts = true;
     config.num_shards = static_cast<std::size_t>(num_shards);
+    if (chaos) {
+      config.enable_chaos = true;
+      // A fast watchdog keeps crash-to-failover latency (and therefore the
+      // retry loop) far below the harness's retry budget.
+      config.watchdog_poll_ms = 1;
+    }
     return config;
   }
 
   service::ShardRouter router_;
   service::DfsService ref_;
   service::SnapshotPtr ref_snap_;
+};
+
+// The sharded differential under fire (FuzzEntry::kChaos): a fault plan
+// seeded from chaos_seed is armed for the run, every update is driven
+// through the canonical client retry loop (service/workload.hpp
+// submit_with_retry — resubmit on kRetryable/kOverloaded, re-wait on
+// kTimeout) until definitive, and after every batch the recovered S-shard
+// forest must STILL match the un-faulted 1-shard reference byte for byte:
+// the journal-replay recovery proof of DESIGN.md §13. With
+// PARDFS_ENABLE_CHAOS compiled out arm() is a no-op and this is exactly the
+// sharded entry.
+class ChaosEngine final : public ShardedEngine {
+ public:
+  ChaosEngine(Graph initial, const FuzzOptions& o)
+      : ShardedEngine(std::move(initial), o, /*chaos=*/true) {
+    const int shards = std::max(o.num_shards, 1);
+    // Horizon ~ expected updates per shard, so the drawn trigger offsets
+    // land inside the run instead of all past its end.
+    const int horizon = std::max(
+        o.batches * std::max(o.max_batch, 1) / (2 * shards), 4);
+    chaos::arm(chaos::FaultPlan::random(o.chaos_seed,
+                                        static_cast<std::size_t>(shards),
+                                        o.chaos_faults,
+                                        static_cast<std::uint32_t>(horizon)));
+  }
+  ~ChaosEngine() override {
+    // Disarm before the base stops the routers: shutdown drains should not
+    // trip leftover faults (they would still recover, but the run is over).
+    chaos::disarm();
+  }
+
+  bool apply(const std::vector<GeneratedUpdate>& batch, std::string* err) override {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const GeneratedUpdate& g = batch[i];
+      // Generous budget: ~20 s of 50 ms waits. Only a genuinely wedged
+      // recovery (the bug this entry hunts) exhausts it.
+      service::RetryPolicy policy;
+      policy.max_attempts = 400;
+      policy.ack_timeout = std::chrono::milliseconds(50);
+      policy.initial_backoff = std::chrono::microseconds(50);
+      policy.max_backoff = std::chrono::milliseconds(2);
+      const service::SubmitOutcome out =
+          service::submit_with_retry(router_, g.update, policy);
+      if (!out.definitive()) {
+        *err = "update " + std::to_string(i) + " never became definitive (" +
+               std::to_string(out.attempts) + " attempts, last status " +
+               service::UpdateTicket::status_name(out.result) +
+               ") — recovery wedged";
+        return false;
+      }
+      service::UpdateTicket rt = ref_.submit(g.update);
+      const std::uint64_t rv = rt.wait();
+      const bool s_rej = out.result == service::UpdateTicket::kRejected;
+      const bool r_rej = rv == service::UpdateTicket::kRejected;
+      if (s_rej != r_rej) {
+        *err = "accept/reject divergence at update " + std::to_string(i) +
+               ": chaos stack " + (s_rej ? "rejected" : "accepted") +
+               ", reference " + (r_rej ? "rejected" : "accepted");
+        return false;
+      }
+      if (s_rej) {
+        *err = "both stacks rejected feasible update " + std::to_string(i) +
+               " (mirror-contract violation)";
+        return false;
+      }
+      if (g.update.kind == GraphUpdate::Kind::kInsertVertex &&
+          (out.assigned_vertex != g.expected_vertex ||
+           rt.assigned_vertex() != g.expected_vertex)) {
+        *err = "vertex-id divergence after recovery: chaos stack assigned " +
+               std::to_string(out.assigned_vertex) + ", reference " +
+               std::to_string(rt.assigned_vertex()) + ", mirror " +
+               std::to_string(g.expected_vertex);
+        return false;
+      }
+    }
+    // The recovery differential: whatever crashed and replayed this batch,
+    // the assembled forest must equal the never-faulted reference.
+    ref_snap_ = ref_.snapshot();
+    return compare_assembled(router_, ref_snap_, err);
+  }
 };
 
 // ---- the per-batch oracle --------------------------------------------------
@@ -817,6 +922,8 @@ FuzzResult run_fuzz(const FuzzOptions& options_in) {
     engine = std::make_unique<CoreEngine>(std::move(initial), options.num_threads);
   } else if (options.entry == FuzzEntry::kService) {
     engine = std::make_unique<ServiceEngine>(std::move(initial), options);
+  } else if (options.entry == FuzzEntry::kChaos) {
+    engine = std::make_unique<ChaosEngine>(std::move(initial), options);
   } else {
     engine = std::make_unique<ShardedEngine>(std::move(initial), options);
   }
@@ -854,30 +961,44 @@ FuzzResult run_fuzz(const FuzzOptions& options_in) {
 FuzzResult run_soak(std::uint64_t seed_base, int seeds, int batches, Vertex n,
                     int num_threads, bool force_scalar) {
   FuzzResult total;
+  // Returns false at the first failing run (stashing it, totals folded in).
+  const auto run_one = [&](const FuzzOptions& o) -> bool {
+    FuzzResult r = run_fuzz(o);
+    if (!r.ok) {
+      r.batches += total.batches;
+      r.updates += total.updates;
+      r.queries += total.queries;
+      total = std::move(r);
+      return false;
+    }
+    total.batches += r.batches;
+    total.updates += r.updates;
+    total.queries += r.queries;
+    return true;
+  };
   for (int s = 0; s < seeds; ++s) {
     for (const FuzzFamily family :
          {FuzzFamily::kRandom, FuzzFamily::kPowerLaw, FuzzFamily::kGrid,
           FuzzFamily::kDynamicMap}) {
+      FuzzOptions o;
+      o.seed = seed_base + static_cast<std::uint64_t>(s);
+      o.family = family;
+      o.n = n;
+      o.batches = batches;
+      o.num_threads = num_threads;
+      o.force_scalar = force_scalar;
       for (const FuzzEntry entry : {FuzzEntry::kCore, FuzzEntry::kService,
                                     FuzzEntry::kSharded}) {
-        FuzzOptions o;
-        o.seed = seed_base + static_cast<std::uint64_t>(s);
-        o.family = family;
         o.entry = entry;
-        o.n = n;
-        o.batches = batches;
-        o.num_threads = num_threads;
-        o.force_scalar = force_scalar;
-        FuzzResult r = run_fuzz(o);
-        if (!r.ok) {
-          r.batches += total.batches;
-          r.updates += total.updates;
-          r.queries += total.queries;
-          return r;
-        }
-        total.batches += r.batches;
-        total.updates += r.updates;
-        total.queries += r.queries;
+        if (!run_one(o)) return total;
+      }
+      // The chaos leg: the SAME update stream under several distinct fault
+      // schedules (ISSUE acceptance: >= 3 per seed, every graph family).
+      o.entry = FuzzEntry::kChaos;
+      for (int c = 0; c < kChaosSchedulesPerSeed; ++c) {
+        o.chaos_seed = o.seed * kChaosSchedulesPerSeed +
+                       static_cast<std::uint64_t>(c) + 1;
+        if (!run_one(o)) return total;
       }
     }
   }

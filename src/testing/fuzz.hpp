@@ -11,7 +11,16 @@
 //               reference: every update applies synchronously to both, and
 //               the assembled sharded forest must equal the unsharded
 //               snapshot byte for byte after every batch (the shard-count
-//               invariance contract of service/shard_router.hpp).
+//               invariance contract of service/shard_router.hpp);
+//   * chaos   — the sharded differential with a seeded fault plan armed
+//               (testing/chaos.hpp): writer crashes, merge aborts, stalls
+//               and admission sheds fire mid-run, every update is driven
+//               through the client retry loop (workload.hpp's
+//               submit_with_retry) until definitive, and after every batch
+//               the recovered forest must STILL equal the un-faulted 1-shard
+//               reference byte for byte — the journal-replay recovery proof
+//               of DESIGN.md §13. With PARDFS_ENABLE_CHAOS compiled out the
+//               plan never fires and the entry degenerates to `sharded`.
 // After every batch the harness re-checks the invariants that define the
 // algorithm (arXiv:1502.02481's valid-DFS-forest + total-query semantics):
 //   1. tree/validation::validate_dfs_forest against a *mirror* graph the
@@ -45,7 +54,7 @@ enum class FuzzFamily : std::uint8_t {
   kDynamicMap,  // service::WorkloadDriver dynamic_map obstacle churn
 };
 
-enum class FuzzEntry : std::uint8_t { kCore, kService, kSharded };
+enum class FuzzEntry : std::uint8_t { kCore, kService, kSharded, kChaos };
 
 const char* family_name(FuzzFamily f);
 const char* entry_name(FuzzEntry e);
@@ -62,9 +71,15 @@ struct FuzzOptions {
   int queries_per_batch = 24;  // sampled tree/snapshot queries per batch
   int cut_checks_per_batch = 3;  // brute-force articulation/bridge samples
   int num_threads = 0;         // engine worker-team cap (0 = facade default)
-  // Shard count for the sharded entry (ignored by core/service). The run
-  // drives this many shards against a 1-shard reference differentially.
+  // Shard count for the sharded/chaos entries (ignored by core/service). The
+  // run drives this many shards against a 1-shard reference differentially.
   int num_shards = 4;
+  // Seed of the chaos entry's fault plan (independent of `seed`, so the soak
+  // can run several fault schedules over the SAME update stream). Ignored by
+  // the other entries.
+  std::uint64_t chaos_seed = 1;
+  // Faults drawn into the chaos plan per run.
+  int chaos_faults = 6;
   // Debug hook: corrupt the checked parent array before the checks of this
   // batch index (-1 = never). The run must FAIL with a replay line.
   int corrupt_at = -1;
@@ -97,9 +112,12 @@ struct FuzzResult {
 FuzzResult run_fuzz(const FuzzOptions& options);
 
 // The CI soak matrix: `seeds` consecutive seeds starting at seed_base, over
-// every family in {random, power_law, grid, dynamic_map} and all three entry
-// points (core, service, sharded), `batches` batches each. Stops at the first failure (its result is
-// returned); otherwise returns an ok result with the accumulated totals.
+// every family in {random, power_law, grid, dynamic_map} and all three
+// fault-free entry points (core, service, sharded) plus the chaos entry
+// under kChaosSchedulesPerSeed distinct fault schedules, `batches` batches
+// each. Stops at the first failure (its result is returned); otherwise
+// returns an ok result with the accumulated totals.
+inline constexpr int kChaosSchedulesPerSeed = 3;
 FuzzResult run_soak(std::uint64_t seed_base, int seeds, int batches, Vertex n,
                     int num_threads = 0, bool force_scalar = false);
 

@@ -5,15 +5,72 @@
 // silently would produce a subtly wrong DFS tree, so invariant checks abort
 // with a message instead of being compiled out. Hot-loop-only checks use
 // PARDFS_DCHECK, which compiles away in NDEBUG builds.
+//
+// Failure routing (DESIGN.md §13): by default a failed check aborts the
+// process — for reader-side and test code a wrong answer about to escape is
+// not survivable. Threads that own a recoverable failure domain (the shard
+// writer and merge paths of service/shard_router) instead install
+// ScopedRecoverableChecks, which turns every check failure in their frames
+// into a thrown InvariantViolation; the supervision layer catches it,
+// poisons the shard, and rebuilds the engine by journal replay instead of
+// taking the whole service down. The flag is thread-local, so an engine
+// invariant tripped by a writer thread throws while the same check tripped
+// by a reader still aborts (pinned by tests/test_chaos.cpp's death test).
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 namespace pardfs {
 
+// A structural invariant failed on a thread that opted into recoverable
+// checks. Carries the formatted "expr at file:line — msg" text.
+class InvariantViolation : public std::runtime_error {
+ public:
+  explicit InvariantViolation(std::string what)
+      : std::runtime_error(std::move(what)) {}
+};
+
+namespace detail {
+// Thread-local routing flag; false (abort) unless a ScopedRecoverableChecks
+// is live on this thread.
+inline thread_local bool g_recoverable_checks = false;
+}  // namespace detail
+
+inline bool recoverable_checks() { return detail::g_recoverable_checks; }
+
+// RAII: while alive, check failures on this thread throw InvariantViolation
+// instead of aborting. Nestable (restores the previous state).
+class ScopedRecoverableChecks {
+ public:
+  ScopedRecoverableChecks() : prev_(detail::g_recoverable_checks) {
+    detail::g_recoverable_checks = true;
+  }
+  ~ScopedRecoverableChecks() { detail::g_recoverable_checks = prev_; }
+  ScopedRecoverableChecks(const ScopedRecoverableChecks&) = delete;
+  ScopedRecoverableChecks& operator=(const ScopedRecoverableChecks&) = delete;
+
+ private:
+  bool prev_;
+};
+
 [[noreturn]] inline void check_fail(const char* expr, const char* file, int line,
                                     const char* msg) {
+  if (detail::g_recoverable_checks) {
+    std::string what = "pardfs: check failed: ";
+    what += expr;
+    what += " at ";
+    what += file;
+    what += ":";
+    what += std::to_string(line);
+    if (msg[0] != '\0') {
+      what += " — ";
+      what += msg;
+    }
+    throw InvariantViolation(std::move(what));
+  }
   std::fprintf(stderr, "pardfs: check failed: %s at %s:%d%s%s\n", expr, file, line,
                msg[0] ? " — " : "", msg);
   std::abort();

@@ -107,8 +107,9 @@ TEST(Fuzz, SoakMatrixAccumulatesAcrossCells) {
   const FuzzResult r = run_soak(/*seed_base=*/100, /*seeds=*/1, /*batches=*/4,
                                 /*n=*/32);
   ASSERT_TRUE(r.ok) << r.failure << "\nreplay: " << r.replay;
-  // 1 seed x 4 families x 3 entries (core, service, sharded) x 4 batches.
-  EXPECT_EQ(r.batches, 48u);
+  // 1 seed x 4 families x (3 fault-free entries + kChaosSchedulesPerSeed
+  // chaos schedules) x 4 batches.
+  EXPECT_EQ(r.batches, 4u * (3 + kChaosSchedulesPerSeed) * 4);
 }
 
 TEST(Fuzz, NamesRoundTrip) {
@@ -118,8 +119,8 @@ TEST(Fuzz, NamesRoundTrip) {
     ASSERT_TRUE(parse_family(family_name(f), parsed));
     EXPECT_EQ(parsed, f);
   }
-  for (const FuzzEntry e :
-       {FuzzEntry::kCore, FuzzEntry::kService, FuzzEntry::kSharded}) {
+  for (const FuzzEntry e : {FuzzEntry::kCore, FuzzEntry::kService,
+                            FuzzEntry::kSharded, FuzzEntry::kChaos}) {
     FuzzEntry parsed;
     ASSERT_TRUE(parse_entry(entry_name(e), parsed));
     EXPECT_EQ(parsed, e);

@@ -5,9 +5,13 @@
 //   * single run (default):    pardfs_fuzz --seed=7 --scenario=grid --entry=service
 //   * sharded differential:    pardfs_fuzz --entry=sharded --shards=8
 //       (S-shard router vs 1-shard reference, byte-compared every batch)
+//   * chaos differential:      pardfs_fuzz --entry=chaos --chaos-seed=3
+//       (seeded fault schedule armed: writer crashes / merge aborts / stalls
+//        / sheds mid-run; every recovery must land byte-identical to the
+//        un-faulted reference. Needs -DPARDFS_ENABLE_CHAOS=ON to inject.)
 //   * fixed soak matrix:       pardfs_fuzz --soak=8 --batches=16
 //       (8 seeds x {random, power_law, grid, dynamic_map}
-//                x {core, service, sharded})
+//                x {core, service, sharded} + 3 chaos schedules each)
 //   * time-budgeted CI soak:   pardfs_fuzz --minutes=5
 //       (keeps sweeping the matrix with fresh seeds until the budget runs out)
 //
@@ -42,9 +46,12 @@ void usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--seed=U64] [--scenario=random|power_law|grid|dynamic_map]\n"
-      "          [--entry=core|service|sharded] [--n=N] [--batches=B]\n"
+      "          [--entry=core|service|sharded|chaos] [--n=N] [--batches=B]\n"
       "          [--max-batch=K] [--threads=T] [--shards=S] [--corrupt-at=B]\n"
-      "          [--soak=SEEDS] [--minutes=M] [--force-scalar]\n",
+      "          [--chaos-seed=U64] [--chaos-faults=F]\n"
+      "          [--soak=SEEDS] [--minutes=M] [--force-scalar]\n"
+      "(--entry=chaos needs -DPARDFS_ENABLE_CHAOS=ON to actually inject;\n"
+      " otherwise it runs as the fault-free sharded differential)\n",
       argv0);
 }
 
@@ -94,6 +101,14 @@ bool parse_arg(std::string_view arg, CliOptions& cli) {
   if (value_of("--corrupt-at", v)) {
     cli.fuzz.corrupt_at = std::atoi(std::string(v).c_str());
     return true;
+  }
+  if (value_of("--chaos-seed", v)) {
+    cli.fuzz.chaos_seed = std::strtoull(std::string(v).c_str(), nullptr, 10);
+    return true;
+  }
+  if (value_of("--chaos-faults", v)) {
+    cli.fuzz.chaos_faults = std::atoi(std::string(v).c_str());
+    return cli.fuzz.chaos_faults > 0;
   }
   if (value_of("--soak", v)) {
     cli.soak_seeds = std::atoi(std::string(v).c_str());

@@ -12,6 +12,13 @@
 //                                      labels the service series shard="i"
 //               [--watch-ms=0]        re-print the registry every N ms while
 //                                     the workload runs (0 = once, at the end)
+//               [--inject-failures=K] kill the writer K times (round-robin
+//                                     over the shards) while the workload
+//                                     runs; each death fails over by journal
+//                                     replay (DESIGN.md §13) and the page
+//                                     shows pardfs_recoveries_total and the
+//                                     pardfs_recovery_latency_us histogram
+//                                     moving
 //               [--format=prom|json]
 //               [--trace-out=FILE]    enable span tracing; write the chrome
 //                                     trace JSON to FILE at the end
@@ -48,6 +55,7 @@ struct Options {
   int threads = 0;
   std::size_t shards = 1;
   std::uint64_t watch_ms = 0;
+  std::uint64_t inject_failures = 0;
   bool json = false;
   std::string trace_out;
   bool no_metrics = false;
@@ -95,6 +103,8 @@ Options parse(int argc, char** argv) {
       if (o.shards == 0) usage_error(a);
     } else if (const char* v = value("--watch-ms=")) {
       o.watch_ms = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--inject-failures=")) {
+      o.inject_failures = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value("--format=")) {
       if (std::strcmp(v, "json") == 0) {
         o.json = true;
@@ -142,6 +152,16 @@ void print_shard_table(const ShardRouter& router) {
                static_cast<long long>(router.num_edges()),
                static_cast<unsigned long long>(total.cross_shard_inserts),
                static_cast<unsigned long long>(total.shard_migrations));
+  // The §13 failure-domain counters; the same numbers back the
+  // pardfs_recoveries_total / pardfs_acks_retryable_total /
+  // pardfs_overload_shed_total series on the scrape page (plus the
+  // pardfs_recovery_latency_us histogram for failover timing).
+  std::fprintf(stderr,
+               "       recoveries: %llu, retryable acks: %llu, overload "
+               "sheds: %llu\n",
+               static_cast<unsigned long long>(total.recoveries),
+               static_cast<unsigned long long>(total.retryable_acks),
+               static_cast<unsigned long long>(total.overload_sheds));
 }
 
 }  // namespace
@@ -158,11 +178,30 @@ int main(int argc, char** argv) {
   config.serve_cuts = o.scenario == Scenario::kDynamicMap;
   ShardRouter svc(make_initial_graph(spec), config);
 
-  // One producer streams the scenario; the main thread is the watcher.
+  // One producer streams the scenario; the main thread is the watcher. With
+  // --inject-failures the producer also plays chaos monkey: writer kills
+  // spread evenly through the stream, round-robin over the shards, with the
+  // client retry loop resubmitting whatever a crash spilled (kRetryable).
   std::thread producer([&] {
     WorkloadDriver driver(spec);
+    const std::uint64_t kill_every =
+        o.inject_failures > 0
+            ? std::max<std::uint64_t>(o.updates / (o.inject_failures + 1), 1)
+            : 0;
+    std::uint64_t kills = 0;
+    std::size_t kill_shard = 0;
     for (std::uint64_t i = 0; i < o.updates; ++i) {
-      (void)svc.apply_sync(driver.next());
+      if (kill_every > 0 && kills < o.inject_failures && i > 0 &&
+          i % kill_every == 0) {
+        svc.inject_writer_failure(kill_shard);
+        kill_shard = (kill_shard + 1) % svc.num_shards();
+        ++kills;
+      }
+      if (o.inject_failures > 0) {
+        (void)submit_with_retry(svc, driver.next());
+      } else {
+        (void)svc.apply_sync(driver.next());
+      }
     }
   });
 
