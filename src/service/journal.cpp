@@ -94,6 +94,34 @@ void UpdateJournal::record_adopt(const DynamicDfs::ComponentTransfer& t) {
   append_line("adopt " + std::to_string(t.vertices.size()) + " vertices");
 }
 
+void UpdateJournal::checkpoint(const Graph& graph,
+                               std::span<const Vertex> parent,
+                               std::uint64_t version,
+                               std::uint64_t updates_applied) {
+  std::lock_guard lock(mu_);
+  Checkpoint cp;
+  cp.capacity = graph.capacity();
+  cp.version = version;
+  cp.updates_applied = updates_applied;
+  for (Vertex v = 0; v < graph.capacity(); ++v) {
+    if (!graph.is_alive(v)) continue;
+    cp.state.vertices.push_back(v);
+    const auto nb = graph.neighbors(v);
+    cp.state.rows.emplace_back(nb.begin(), nb.end());
+    cp.state.parent.push_back(parent[static_cast<std::size_t>(v)]);
+  }
+  const std::size_t dropped = log_.size();
+  checkpoint_ = std::move(cp);
+  // The point is bounding memory: release the entry storage and the
+  // now-superseded genesis graph, not just empty them.
+  log_.clear();
+  log_.shrink_to_fit();
+  genesis_ = Graph();
+  append_line("checkpoint v" + std::to_string(version) + " n=" +
+              std::to_string(static_cast<long long>(graph.capacity())) +
+              " dropped=" + std::to_string(dropped));
+}
+
 std::size_t UpdateJournal::entries() const {
   std::lock_guard lock(mu_);
   return log_.size();
@@ -103,10 +131,26 @@ UpdateJournal::ReplayResult UpdateJournal::replay() const {
   std::lock_guard lock(mu_);
   // Identical construction parameters to the live engine (serial_cutoff is
   // pinned to -1, the value shard_router uses) — determinism (§12) then
-  // guarantees the replayed forest is byte-identical.
-  ReplayResult r{DynamicDfs(genesis_, config_.strategy, nullptr,
-                            config_.num_threads, -1, config_.obs_shard),
-                 1, 0, {}};
+  // guarantees the replayed forest is byte-identical. After a checkpoint the
+  // base is an empty graph padded to the checkpointed capacity plus one
+  // verbatim transplant of every live row, restoring the checkpointed forest
+  // exactly as a migration would.
+  ReplayResult r = [&] {
+    if (checkpoint_.has_value()) {
+      Graph base;
+      base.pad_to(checkpoint_->capacity);
+      ReplayResult out{DynamicDfs(std::move(base), config_.strategy, nullptr,
+                                  config_.num_threads, -1, config_.obs_shard),
+                       checkpoint_->version, checkpoint_->updates_applied, {}};
+      if (!checkpoint_->state.vertices.empty()) {
+        out.engine.adopt_component(checkpoint_->state);
+      }
+      return out;
+    }
+    return ReplayResult{DynamicDfs(genesis_, config_.strategy, nullptr,
+                                   config_.num_threads, -1, config_.obs_shard),
+                        1, 0, {}};
+  }();
   for (const Entry& e : log_) {
     switch (e.kind) {
       case Entry::Kind::kPad:

@@ -21,11 +21,15 @@
 // human-readable line per entry for post-mortem debugging; it is write-only
 // and never read back. Entries are recorded under the shard's engine lock,
 // so the log order is exactly the engine's operation order; replay() runs on
-// the watchdog thread with the same lock held.
+// the watchdog thread with the same lock held. The log does not grow without
+// bound: checkpoint() periodically captures the engine's current state as a
+// new replay base and drops the recorded prefix (see ServiceConfig::
+// journal_checkpoint_entries).
 #pragma once
 
 #include <cstdio>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -68,6 +72,18 @@ class UpdateJournal {
   // adopt_component(t) is about to run (this shard is the merge winner).
   void record_adopt(const DynamicDfs::ComponentTransfer& t);
 
+  // Replaces the replay base with the engine's *current* state — graph,
+  // forest (parent rows) and version counters — and drops every recorded
+  // entry, bounding journal memory and failover replay time by work since
+  // the last checkpoint instead of total history. Caller holds the shard's
+  // engine lock with no wal-pending batch, so the journal is exactly in
+  // sync with the engine. Determinism survives because replay restores the
+  // checkpointed forest verbatim through the same adopt_component row
+  // transplant the migration protocol relies on (§12): subsequent entries
+  // then apply against byte-identical graph rows and parent entries.
+  void checkpoint(const Graph& graph, std::span<const Vertex> parent,
+                  std::uint64_t version, std::uint64_t updates_applied);
+
   std::size_t entries() const;
 
   struct ReplayResult {
@@ -97,11 +113,24 @@ class UpdateJournal {
     DynamicDfs::ComponentTransfer transfer;
   };
 
+  // Replay base after the first checkpoint: an empty graph padded to
+  // `capacity` plus one transfer carrying every live vertex's adjacency and
+  // parent rows verbatim (ascending ids). Restoring it via adopt_component
+  // reproduces the checkpointed forest byte for byte, the same way
+  // migrations do; `genesis_` is released once this takes over.
+  struct Checkpoint {
+    Vertex capacity = 0;
+    DynamicDfs::ComponentTransfer state;
+    std::uint64_t version = 1;
+    std::uint64_t updates_applied = 0;
+  };
+
   void append_line(const std::string& line);
 
   mutable std::mutex mu_;
   Graph genesis_;
   Config config_;
+  std::optional<Checkpoint> checkpoint_;
   std::vector<Entry> log_;
   std::FILE* file_ = nullptr;
 };

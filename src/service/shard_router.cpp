@@ -126,6 +126,11 @@ obs::Counter& overload_counter() {
       obs::Registry::global().counter("pardfs_overload_shed_total");
   return c;
 }
+obs::Counter& checkpoints_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("pardfs_journal_checkpoints_total");
+  return c;
+}
 
 }  // namespace
 
@@ -373,6 +378,7 @@ ShardRouter::ShardRouter(Graph initial, ServiceConfig config)
   stalls_counter();
   retryable_counter();
   overload_counter();
+  checkpoints_counter();
 
   for (Vertex v = 0; v < n; ++v) {
     if (S == 1) {
@@ -863,6 +869,12 @@ void ShardRouter::writer_loop(Shard& sh) {
       // classified local stays local through its apply.
       std::size_t i = 0;
       while (i < pending.size()) {
+        // Re-stamp between runs and specials: a large drained batch can
+        // legitimately process for longer than stall_timeout_ms, and the
+        // watchdog must fence actual stalls, not long healthy batches. (An
+        // injected batch_stall_ms still fences — the stall loop never
+        // reaches this stamp.)
+        sh.heartbeat_ns.store(mono_ns(), std::memory_order_release);
         std::size_t j = i;
         {
           std::lock_guard lock(sh.mu);
@@ -987,6 +999,14 @@ void ShardRouter::apply_run_locked(Shard& target, Shard& gateway,
       wal.version = target.version + 1;
       target.wal_pending = std::move(wal);
     }
+    // Reserve the assigned ids at the WAL point, not after the apply: the
+    // record above holds inserts whose ids start at the old global_next_, so
+    // the allocator must advance before any faultable code. A crash in the
+    // apply below then cannot let another shard hand out the journaled ids
+    // during the window before replay (which would ack the same id to two
+    // clients). delta.next_vertex is exactly the capacity this batch leaves
+    // behind: the pad to global_next_ plus one id per accepted insert.
+    if (has_insert) global_next_ = delta.next_vertex;
     if (config_.enable_chaos) {
       chaos_site(static_cast<int>(chaos::FaultPoint::kWriterCrashMidBatch),
                  target);
@@ -1005,7 +1025,7 @@ void ShardRouter::apply_run_locked(Shard& target, Shard& gateway,
       for (const Vertex v : batch_stats.new_vertices) {
         directory_->set(v, static_cast<std::int32_t>(target.id));
       }
-      global_next_ = target.dfs.graph().capacity();
+      // global_next_ already advanced at the WAL point above.
     }
     publish(target, /*forest_unchanged=*/batch_stats.structural == 0);
     batches_counter().add();
@@ -1031,6 +1051,7 @@ void ShardRouter::apply_run_locked(Shard& target, Shard& gateway,
   // The batch is applied, published and acked: its WAL tickets are no longer
   // pending (caller still holds target.mu).
   target.wal_pending.reset();
+  maybe_checkpoint_locked(target);
 
   {
     std::lock_guard lock(control_mu_);
@@ -1307,10 +1328,13 @@ void ShardRouter::process_special(Shard& sh, PendingUpdate& p) {
         if (w.journal) w.journal->record_pad(global_next_);
         w.dfs.pad_capacity(global_next_);
         record_merge_apply();
+        // Reserve the insert's id at the WAL point (same argument as in
+        // apply_run_locked): the journaled insert replays to exactly this id
+        // even if the apply below crashes first.
+        ++global_next_;
         batch_stats = w.dfs.apply_batch(std::span<const GraphUpdate>(&u, 1));
         assigned = batch_stats.new_vertices.at(0);
         directory_->set(assigned, static_cast<std::int32_t>(winner));
-        global_next_ = w.dfs.graph().capacity();
       } else {
         record_merge_apply();
         batch_stats = w.dfs.apply_batch(std::span<const GraphUpdate>(&u, 1));
@@ -1360,6 +1384,11 @@ void ShardRouter::process_special(Shard& sh, PendingUpdate& p) {
       sh.stats.cross_shard_inserts += 1;
       sh.stats.shard_migrations += migrations;
     }
+    // Both merge halves were journaled (extract on losers, adopt + apply on
+    // the winner): truncate whichever journals just crossed the bound. All
+    // involved engine locks are still held.
+    maybe_checkpoint_locked(w);
+    for (const std::size_t ls : losers) maybe_checkpoint_locked(*shards_[ls]);
     } catch (const std::exception& e) {
       recover_inline(e.what());
     }
@@ -1484,6 +1513,15 @@ void ShardRouter::recover_shard(Shard& sh, bool respawn) {
   }
 }
 
+void ShardRouter::maybe_checkpoint_locked(Shard& sh) {
+  if (sh.journal == nullptr || config_.journal_checkpoint_entries == 0) return;
+  if (sh.wal_pending.has_value()) return;  // journal ahead of the engine
+  if (sh.journal->entries() < config_.journal_checkpoint_entries) return;
+  sh.journal->checkpoint(sh.dfs.graph(), sh.dfs.parent(), sh.version,
+                         sh.updates_applied);
+  checkpoints_counter().add();
+}
+
 void ShardRouter::abandon_shard(Shard& sh) {
   sh.unrecoverable.store(true, std::memory_order_release);
   std::lock_guard lock(sh.mu);
@@ -1523,8 +1561,9 @@ void ShardRouter::recover_shard_locked(Shard& sh) {
     if (g.is_alive(v)) directory_->set(v, static_cast<std::int32_t>(sh.id));
   }
   {
-    // The replay may include pads/inserts the crash interrupted: keep the
-    // global id space at least as large as any replayed capacity.
+    // Ids are reserved at the WAL point, so every journaled insert's id is
+    // already below global_next_ and this is a no-op; kept as a defensive
+    // floor in case the id space ever lags a replayed capacity.
     std::lock_guard id_lock(id_mu_);
     global_next_ = std::max(global_next_, g.capacity());
   }
@@ -1552,6 +1591,9 @@ void ShardRouter::recover_shard_locked(Shard& sh) {
   sh.fenced.store(false, std::memory_order_release);
   sh.poison.store(false, std::memory_order_release);
   sh.crashed.store(false, std::memory_order_release);
+  // A long journal just replayed in full: truncate it now so a repeated
+  // crash replays only from here, not from genesis again.
+  maybe_checkpoint_locked(sh);
 }
 
 // ---- RouterView ------------------------------------------------------------

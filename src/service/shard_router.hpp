@@ -79,6 +79,12 @@ struct ServiceConfig {
   // Non-empty: each shard also appends a human-readable journal line to
   // "<prefix><shard>.log" (post-mortem aid; replay never reads it).
   std::string journal_path_prefix;
+  // Checkpoint a shard's journal once it holds this many entries: the
+  // engine's current state (graph + forest + version) becomes the new replay
+  // base and the entry prefix is dropped, bounding per-shard journal memory
+  // and failover replay time by work since the last checkpoint instead of
+  // total history. 0 = never checkpoint (journal grows with total history).
+  std::size_t journal_checkpoint_entries = 256;
   // Watchdog poll period. The watchdog detects crashed writers (poisoned by
   // an escaped invariant or an injected fault) and fails them over by
   // journal replay on a fresh thread. 0 = no watchdog: degradation only,
@@ -86,7 +92,10 @@ struct ServiceConfig {
   std::uint32_t watchdog_poll_ms = 20;
   // A writer mid-batch whose heartbeat is older than this is declared
   // stalled: the watchdog fences it (pardfs_writer_stalls_total) and the
-  // writer converts to a crash at its next cancellation point. 0 = off.
+  // writer converts to a crash at its next cancellation point. The writer
+  // re-stamps its heartbeat between ops within a drained batch, so the
+  // bound covers a single run/special, not the whole batch — a healthy
+  // writer chewing through a large batch is not fenced. 0 = off.
   std::uint32_t stall_timeout_ms = 10000;
   // Admission control: submits shed with kOverloaded when the target shard's
   // queue holds >= max_queue_depth updates (0 = off), or when its snapshot
@@ -254,6 +263,11 @@ class ShardRouter {
   // reads-only) and flush its wal-pending tickets kRetryable so no client
   // waits forever on a shard that will never ack.
   void abandon_shard(Shard& sh);
+  // Journal truncation (DESIGN.md §13): once sh's entry log passes
+  // config_.journal_checkpoint_entries, capture the engine's current state
+  // as the new replay base and drop the prefix. Caller holds sh.mu with no
+  // wal-pending batch, so the journal is exactly in sync with the engine.
+  void maybe_checkpoint_locked(Shard& sh);
   // Admission control + chaos queue_full: true => *out is a pre-acked
   // kOverloaded ticket and the update must not enqueue.
   bool shed_overloaded(Shard& sh, UpdateTicket* out);

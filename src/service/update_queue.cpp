@@ -44,9 +44,14 @@ std::uint64_t UpdateTicket::wait() const {
   // Total even on a never-enqueued ticket: a client racing DfsService::stop()
   // must see a rejection, not an aborted process.
   if (!valid()) return kRejected;
-  // C++20 atomic wait: blocks until result leaves the pending sentinel.
-  state_->result.wait(0, std::memory_order_acquire);
-  return state_->result.load(std::memory_order_acquire);
+  // C++20 atomic wait: blocks until result leaves the pending values. The
+  // transient kAcking claim (try_ack's claim-then-publish window) counts as
+  // pending — the final result lands within two stores of it.
+  for (;;) {
+    const std::uint64_t r = state_->result.load(std::memory_order_acquire);
+    if (r != 0 && r != kAcking) return r;
+    state_->result.wait(r, std::memory_order_acquire);
+  }
 }
 
 std::uint64_t UpdateTicket::wait_for(std::chrono::nanoseconds timeout) const {
@@ -59,7 +64,7 @@ std::uint64_t UpdateTicket::wait_for(std::chrono::nanoseconds timeout) const {
   std::chrono::nanoseconds step{2000};
   for (;;) {
     const std::uint64_t r = state_->result.load(std::memory_order_acquire);
-    if (r != 0) return r;
+    if (r != 0 && r != kAcking) return r;
     const auto now = std::chrono::steady_clock::now();
     if (now >= deadline) return kTimeout;
     std::this_thread::sleep_for(std::min<std::chrono::nanoseconds>(
@@ -72,7 +77,7 @@ std::uint64_t UpdateTicket::wait_for(std::chrono::nanoseconds timeout) const {
 std::optional<std::uint64_t> UpdateTicket::poll() const {
   if (!valid()) return std::nullopt;
   const std::uint64_t r = state_->result.load(std::memory_order_acquire);
-  if (r == 0) return std::nullopt;
+  if (r == 0 || r == kAcking) return std::nullopt;
   return r;
 }
 
@@ -84,18 +89,21 @@ void UpdateTicket::ack(std::uint64_t result, Vertex vertex) const {
 }
 
 bool UpdateTicket::try_ack(std::uint64_t result, Vertex vertex) const {
-  PARDFS_CHECK(valid() && result != 0);
-  // The vertex must be visible before the result flips (assigned_vertex is
-  // only meaningful on a done ticket), so publish it first; a losing CAS
-  // leaves the winner's vertex in place because the winner stored its value
-  // before its own result CAS/store could succeed.
-  state_->vertex.store(vertex, std::memory_order_release);
+  PARDFS_CHECK(valid() && result != 0 && result != kAcking);
+  // Claim-then-publish: CAS the result from pending to the transient kAcking
+  // claim first, and only the claim winner writes the vertex. A losing acker
+  // returns false having written nothing — whether it runs before or after
+  // the winner's final store — so it can never overwrite the winner's
+  // assigned vertex. Waiters treat kAcking as still-pending, which keeps the
+  // vertex visible before any observable "done" result.
   std::uint64_t expected = 0;
-  if (!state_->result.compare_exchange_strong(expected, result,
-                                              std::memory_order_release,
+  if (!state_->result.compare_exchange_strong(expected, kAcking,
+                                              std::memory_order_acq_rel,
                                               std::memory_order_acquire)) {
     return false;
   }
+  state_->vertex.store(vertex, std::memory_order_release);
+  state_->result.store(result, std::memory_order_release);
   state_->result.notify_all();
   return true;
 }

@@ -65,7 +65,9 @@ class UpdateTicket {
   UpdateTicket() = default;
   bool valid() const { return state_ != nullptr; }
   bool done() const {
-    return valid() && state_->result.load(std::memory_order_acquire) != 0;
+    if (!valid()) return false;
+    const std::uint64_t r = state_->result.load(std::memory_order_acquire);
+    return r != 0 && r != kAcking;
   }
   // Blocks until acknowledged; returns the publishing snapshot version, or
   // a status sentinel. Total: on a default-constructed (never enqueued)
@@ -87,6 +89,12 @@ class UpdateTicket {
   friend class UpdateQueue;
   friend class DfsService;
   friend class ShardRouter;
+  // Transient claim sentinel for try_ack's claim-then-publish protocol: the
+  // winning acker CASes `result` from 0 to this, publishes the vertex, then
+  // stores the real result. Never visible to clients — done()/wait()/poll()
+  // all treat it as still-pending — and never a valid status (is_status is
+  // false for it, and no acker may pass it as a result).
+  static constexpr std::uint64_t kAcking = ~std::uint64_t{0} - 4;
   struct State {
     std::atomic<std::uint64_t> result{0};  // 0 = pending
     std::atomic<Vertex> vertex{kNullVertex};

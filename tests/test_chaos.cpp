@@ -194,6 +194,60 @@ TEST(Journal, ReplayReconstructsByteIdenticalEngine) {
   }
 }
 
+// checkpoint() drops the recorded prefix (bounding memory and replay time in
+// a long-running service) and replay from the checkpoint base — the verbatim
+// graph + forest transplant — stays byte-identical to the live engine.
+TEST(Journal, CheckpointTruncatesAndReplayStaysByteIdentical) {
+  Rng rng(9);
+  Graph g = gen::random_connected(48, 96, rng);
+  UpdateJournal journal(g, {});
+  DynamicDfs live(g);
+  ToggleStream stream(g, 13);
+
+  std::uint64_t version = 1;
+  std::uint64_t applied = 0;
+  const auto round = [&] {
+    std::vector<GraphUpdate> batch;
+    for (int i = 0; i < 3; ++i) batch.push_back(stream.next());
+    journal.record_pad(live.graph().capacity());
+    live.pad_capacity(live.graph().capacity());
+    journal.record_apply(batch, version + 1, applied + batch.size());
+    live.apply_batch(batch);
+    ++version;
+    applied += batch.size();
+  };
+  for (int r = 0; r < 8; ++r) round();
+  ASSERT_EQ(journal.entries(), 16u);
+  journal.checkpoint(live.graph(), live.parent(), version, applied);
+  EXPECT_EQ(journal.entries(), 0u);  // the recorded prefix is gone
+  for (int r = 0; r < 8; ++r) round();
+  EXPECT_EQ(journal.entries(), 16u);  // only post-checkpoint history remains
+
+  const UpdateJournal::ReplayResult r = journal.replay();
+  EXPECT_EQ(r.version, version);
+  EXPECT_EQ(r.updates_applied, applied);
+  ASSERT_EQ(r.engine.graph().capacity(), live.graph().capacity());
+  EXPECT_EQ(r.engine.graph().num_vertices(), live.graph().num_vertices());
+  EXPECT_EQ(r.engine.graph().num_edges(), live.graph().num_edges());
+  for (Vertex v = 0; v < live.graph().capacity(); ++v) {
+    ASSERT_EQ(r.engine.parent()[static_cast<std::size_t>(v)],
+              live.parent()[static_cast<std::size_t>(v)])
+        << "parent diverges at vertex " << v;
+    ASSERT_EQ(r.engine.graph().is_alive(v), live.graph().is_alive(v))
+        << "aliveness diverges at vertex " << v;
+  }
+
+  // A second checkpoint directly after the first replay point: replay with
+  // zero entries is just the restored base.
+  journal.checkpoint(live.graph(), live.parent(), version, applied);
+  const UpdateJournal::ReplayResult r2 = journal.replay();
+  EXPECT_EQ(r2.version, version);
+  for (Vertex v = 0; v < live.graph().capacity(); ++v) {
+    ASSERT_EQ(r2.engine.parent()[static_cast<std::size_t>(v)],
+              live.parent()[static_cast<std::size_t>(v)]);
+  }
+}
+
 TEST(Journal, FileBackingWritesAReadableLog) {
   const std::string prefix = ::testing::TempDir() + "pardfs_chaos_journal_";
   {
@@ -219,8 +273,11 @@ TEST(Journal, FileBackingWritesAReadableLog) {
 // must ack its op kRetryable, recover by journal replay, land the retried
 // op — and the final assembled forest must match the reference byte for
 // byte.
-void run_recovery_differential(std::size_t shards) {
-  ShardRouter subject(disjoint_paths(16, 4), supervised_config(shards));
+void run_recovery_differential(std::size_t shards,
+                               std::size_t checkpoint_entries = 256) {
+  ServiceConfig subject_config = supervised_config(shards);
+  subject_config.journal_checkpoint_entries = checkpoint_entries;
+  ShardRouter subject(disjoint_paths(16, 4), subject_config);
   ShardRouter reference(disjoint_paths(16, 4), supervised_config(1));
   ToggleStream stream(disjoint_paths(16, 4), 23);
 
@@ -283,6 +340,12 @@ TEST(Recovery, ByteIdenticalAfterFailoverAt4Shards) {
 }
 TEST(Recovery, ByteIdenticalAfterFailoverAt16Shards) {
   run_recovery_differential(16);
+}
+// An aggressive checkpoint bound makes every failover replay from a recent
+// checkpoint base instead of genesis; the recovered forests must still match
+// the reference byte for byte.
+TEST(Recovery, ByteIdenticalWithAggressiveJournalCheckpoints) {
+  run_recovery_differential(4, /*checkpoint_entries=*/4);
 }
 
 TEST(Recovery, DfsServiceFacadeRecoversToo) {
@@ -612,6 +675,43 @@ TEST(ChaosHooks, MergeAbortRecoversAndRetrySucceeds) {
   chaos::disarm();
   router.stop();
   reference.stop();
+}
+
+// Regression: a writer crash between the WAL record and the (previously
+// post-apply) global id advance must not let another shard hand out the
+// journaled insert's id. Ids are reserved at the WAL point, so the insert
+// that lands on the live shard during the recovery window and the replayed
+// crashed insert get distinct ids.
+TEST(ChaosHooks, CrashedInsertKeepsItsReservedIds) {
+  FaultPlan plan;
+  plan.specs.push_back(FaultSpec{FaultPoint::kWriterCrashMidBatch,
+                                 /*shard=*/0, /*at_hit=*/0, /*param=*/0});
+  chaos::arm(plan);
+  ServiceConfig config = supervised_config(2);
+  config.enable_chaos = true;
+  config.watchdog_poll_ms = 50;  // hold the recovery window open for the race
+  ShardRouter router(disjoint_paths(2, 4), config);
+
+  // Shard 0's writer crashes right after journaling this insert...
+  UpdateTicket crashed = router.submit(GraphUpdate::insert_vertex({0}));
+  // ...while shard 1 assigns an id during the pre-replay window.
+  UpdateTicket live = router.submit(GraphUpdate::insert_vertex({4}));
+  ASSERT_FALSE(UpdateTicket::is_status(live.wait()));
+  ASSERT_FALSE(UpdateTicket::is_status(crashed.wait()));
+  EXPECT_EQ(chaos::faults_injected(), 1u);
+
+  const Vertex replayed_id = crashed.assigned_vertex();
+  const Vertex live_id = live.assigned_vertex();
+  ASSERT_NE(replayed_id, kNullVertex);
+  ASSERT_NE(live_id, kNullVertex);
+  EXPECT_NE(replayed_id, live_id) << "duplicate vertex id acked to 2 clients";
+  EXPECT_TRUE(router.view().contains(replayed_id));
+  EXPECT_TRUE(router.view().contains(live_id));
+  EXPECT_EQ(router.shard_of(replayed_id), 0);
+  EXPECT_EQ(router.shard_of(live_id), 1);
+  chaos::disarm();
+  router.stop();  // joins the watchdog: the recovery stat is settled now
+  EXPECT_EQ(router.stats().recoveries, 1u);
 }
 
 #else  // !PARDFS_ENABLE_CHAOS
